@@ -1,0 +1,54 @@
+// Shared benchmark harness plumbing.
+//
+// Every figure bench: parses key=value CLI overrides (plus R4NCL_* env vars),
+// builds the standard pre-trained scenario (cached on disk, shared by all
+// bench binaries), runs its continual-learning configurations, prints the
+// paper-style rows, and mirrors them into <bench>.csv in the working
+// directory.
+//
+// Common knobs (CLI "key=value" or env R4NCL_<KEY>):
+//   scale=1.0        dataset sample-count scale
+//   epochs=<n>       override the bench's default CL epoch count
+//   pretrain_epochs  pre-training epochs (default 8)
+//   threads=<n>      worker threads
+//   cache=0          disable the pre-trained checkpoint cache
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "util/csv.hpp"
+
+namespace r4ncl::bench {
+
+/// Scenario + config shared by a bench binary.
+struct BenchContext {
+  Config cfg;
+  core::PretrainedScenario scenario;
+
+  /// CL epoch count: bench default, overridable via epochs=N.
+  [[nodiscard]] std::size_t epochs(std::size_t fallback) const {
+    return static_cast<std::size_t>(
+        cfg.get_int("epochs", static_cast<long long>(fallback)));
+  }
+};
+
+/// Builds the context (threads/logging init + cached pre-training).
+BenchContext make_context(int argc, char** argv);
+
+/// Prints the table and writes `<name>.csv`.
+void emit(const ResultTable& table, const std::string& name, const std::string& title);
+
+/// Percentage formatting helper (0.9043 → "90.43").
+std::string pct(double fraction);
+
+/// "x.xx" ratio formatting helper.
+std::string ratio(double value);
+
+/// Runs one continual-learning configuration on a fresh clone of the
+/// scenario's pre-trained network.
+core::ClRunResult run_method(const BenchContext& ctx, const core::NclMethodConfig& method,
+                             std::size_t insertion_layer, std::size_t epochs,
+                             std::size_t eval_every = 1);
+
+}  // namespace r4ncl::bench

@@ -1,0 +1,30 @@
+// Fig. 5: the surrogate-gradient function pair.
+//
+// (a) forward pass: hard step S(x) = Θ(x − θ) at θ = 0;
+// (b) backward pass: fast-sigmoid surrogate ∂S/∂x ≈ 1/(scale·|x|+1)².
+// Regenerates the two curves over the paper's input range [−0.1, 0.1]
+// (scale = 10), plus the soft-spike used by the gradcheck mode.
+#include "common.hpp"
+#include "snn/surrogate.hpp"
+
+using namespace r4ncl;
+
+int main(int, char**) {
+  const snn::SurrogateParams params{snn::SurrogateKind::kFastSigmoid, 10.0f};
+  ResultTable table({"input", "step_forward", "fast_sigmoid_grad", "soft_spike"});
+  for (int i = -40; i <= 40; ++i) {
+    const float x = static_cast<float>(i) * 0.0025f;  // [-0.1, 0.1]
+    table.add_row();
+    table.push(format_double(x, 4));
+    table.push(format_double(snn::hard_spike(x), 1));
+    table.push(format_double(snn::surrogate_grad(x, params), 5));
+    table.push(format_double(snn::soft_spike(x, params), 5));
+  }
+  bench::emit(table, "fig05_surrogate",
+              "Fig 5: spike activation (forward) and fast-sigmoid surrogate (backward)");
+
+  std::printf("\nSummary: grad(0)=%.3f, grad(+-0.05)=%.3f, grad(+-0.1)=%.3f (scale=10)\n",
+              snn::surrogate_grad(0.0f, params), snn::surrogate_grad(0.05f, params),
+              snn::surrogate_grad(0.1f, params));
+  return 0;
+}

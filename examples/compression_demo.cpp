@@ -1,0 +1,82 @@
+// Walk-through of the paper's Fig. 7 compression/decompression mechanism and
+// the latent-memory arithmetic behind Fig. 12.
+//
+// Prints: the exact Fig. 7 bit example, codec behaviour on a synthetic spike
+// train, and the SpikingLR-vs-Replay4NCL storage comparison for each latent
+// width of the paper's network.
+#include <cstdio>
+#include <string>
+
+#include "compress/spike_codec.hpp"
+#include "core/latent_buffer.hpp"
+#include "util/rng.hpp"
+
+using namespace r4ncl;
+
+namespace {
+
+std::string bits_to_string(const data::SpikeRaster& r) {
+  std::string out;
+  for (std::size_t t = 0; t < r.timesteps; ++t) {
+    out += r.at(t, 0) ? '1' : '0';
+    out += ' ';
+  }
+  return out;
+}
+
+data::SpikeRaster from_bits(std::initializer_list<int> bits) {
+  data::SpikeRaster r(bits.size(), 1);
+  std::size_t t = 0;
+  for (int b : bits) r.set(t++, 0, b != 0);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  // --- Fig. 7, bit-exact -------------------------------------------------
+  const auto original = from_bits({1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1, 1, 1, 0});
+  const compress::CodecConfig fig7{.ratio = 2, .strategy = compress::CodecStrategy::kSubsample};
+  const auto compressed = compress::compress(original, fig7);
+  const auto decompressed = compress::decompress(compressed, original.timesteps, fig7);
+
+  std::printf("Fig. 7 example (ratio 2, subsampling codec):\n");
+  std::printf("  original     : %s\n", bits_to_string(original).c_str());
+  std::printf("  compressed   : %s\n", bits_to_string(compressed).c_str());
+  std::printf("  decompressed : %s\n", bits_to_string(decompressed).c_str());
+  std::printf("  (spikes land on group starts; odd-step spikes are the loss)\n\n");
+
+  // --- codec behaviour on a realistic spike train ------------------------
+  Rng rng(7);
+  data::SpikeRaster train(100, 1);
+  for (std::size_t t = 0; t < 100; ++t) train.set(t, 0, rng.bernoulli(0.15));
+  for (std::uint32_t ratio : {2u, 3u, 4u}) {
+    const compress::CodecConfig cfg{.ratio = ratio,
+                                    .strategy = compress::CodecStrategy::kSubsample};
+    std::printf("ratio %u: %3zu -> %3zu timesteps, spike retention %.0f%%\n", ratio,
+                train.timesteps, compress::compress(train, cfg).timesteps,
+                100.0 * compress::spike_retention(train, cfg));
+  }
+
+  // --- Fig. 12 storage arithmetic ----------------------------------------
+  std::printf("\nlatent storage per sample (paper network widths):\n");
+  std::printf("%-8s %22s %22s %10s\n", "width", "SpikingLR (r=2 @T=100)",
+              "Replay4NCL (raw @T=40)", "saving");
+  Rng data_rng(9);
+  for (std::size_t width : {200u, 100u, 50u}) {
+    core::LatentReplayBuffer sota({.ratio = 2}, 100);
+    core::LatentReplayBuffer r4ncl({.ratio = 1}, 40);
+    data::SpikeRaster at100(100, width), at40(40, width);
+    for (auto& b : at100.bits) b = data_rng.bernoulli(0.1) ? 1 : 0;
+    for (auto& b : at40.bits) b = data_rng.bernoulli(0.1) ? 1 : 0;
+    sota.add(at100, 0);
+    r4ncl.add(at40, 0);
+    const double saving =
+        1.0 - static_cast<double>(r4ncl.memory_bytes()) / sota.memory_bytes();
+    std::printf("%-8zu %16zu bytes %16zu bytes %9.2f%%\n", width, sota.memory_bytes(),
+                r4ncl.memory_bytes(), 100.0 * saving);
+  }
+  std::printf("\n(50 stored bit-columns vs 40 → ≈20%% saving, modulated by the\n"
+              "per-sample header; the paper reports 20–21.88%%.)\n");
+  return 0;
+}

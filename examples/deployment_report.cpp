@@ -1,0 +1,71 @@
+// Deployment feasibility report: maps the paper's SNN and each method's
+// latent-replay buffer onto a Loihi-class neuromorphic chip budget.
+//
+// No training involved — pure resource arithmetic — so this runs instantly
+// and shows how the 20% latent-memory saving translates into on-chip SRAM
+// headroom for the embedded targets the paper motivates.
+#include <cstdio>
+
+#include "core/latent_buffer.hpp"
+#include "metrics/hw_mapper.hpp"
+#include "util/rng.hpp"
+
+using namespace r4ncl;
+
+namespace {
+
+/// Latent buffer bytes for a method storing `columns` bit-columns per sample
+/// at the given layer width (19 old classes × 2 replay samples).
+std::size_t buffer_bytes(std::size_t width, std::size_t timesteps, std::uint32_t ratio) {
+  core::LatentReplayBuffer buffer({.ratio = ratio}, timesteps);
+  Rng rng(1);
+  for (int i = 0; i < 38; ++i) {
+    data::SpikeRaster r(timesteps, width);
+    for (auto& b : r.bits) b = rng.bernoulli(0.1) ? 1 : 0;
+    buffer.add(r, i % 19);
+  }
+  return buffer.memory_bytes();
+}
+
+}  // namespace
+
+int main() {
+  const snn::SnnNetwork net{snn::NetworkConfig{}};
+  const metrics::ChipBudget chip;  // Loihi-class defaults
+
+  std::printf("network: 700 -> 200 -> 100 -> 50 -> 20 (recurrent hidden layers)\n");
+  std::printf("chip   : %u cores, %u neurons/core, %llu KB synapse mem/core, %llu KB SRAM\n\n",
+              chip.cores, chip.neurons_per_core,
+              static_cast<unsigned long long>(chip.synapse_bits_per_core / 8 / 1024),
+              static_cast<unsigned long long>(chip.shared_sram_bytes / 1024));
+
+  const metrics::MappingResult base = metrics::map_network(net, 0, chip);
+  std::printf("%-8s %8s %8s %8s %12s\n", "layer", "neurons", "fan-in", "cores", "syn fill");
+  for (const auto& p : base.layers) {
+    std::printf("%-8zu %8zu %8zu %8u %11.1f%%\n", p.layer, p.neurons, p.fan_in, p.cores_used,
+                100.0 * p.synapse_fill);
+  }
+  std::printf("total cores: %u / %u (%.1f%% of the chip)\n\n", base.total_cores, chip.cores,
+              100.0 * base.core_utilisation);
+
+  std::printf("latent buffer vs shared SRAM (%llu KB), insertion layer 3 (width 50):\n",
+              static_cast<unsigned long long>(chip.shared_sram_bytes / 1024));
+  struct Row {
+    const char* method;
+    std::size_t bytes;
+  };
+  const Row rows[] = {
+      {"SpikingLR (codec r=2 @ T=100)", buffer_bytes(50, 100, 2)},
+      {"Replay4NCL (raw @ T*=40)", buffer_bytes(50, 40, 1)},
+  };
+  for (const Row& r : rows) {
+    const metrics::MappingResult m = metrics::map_network(net, r.bytes, chip);
+    std::printf("  %-30s %6zu B  -> %5.1f%% of SRAM, fits=%s\n", r.method, r.bytes,
+                100.0 * static_cast<double>(r.bytes) /
+                    static_cast<double>(chip.shared_sram_bytes),
+                m.latent_fits_sram ? "yes" : "NO");
+  }
+  std::printf("\nthe ~20%% latent-memory saving is headroom for more replay samples —\n"
+              "or for the next task's buffer in the sequential-stream setting.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "compress/aer.hpp"
+
+#include "compress/bitpack.hpp"
+#include "util/error.hpp"
+
+namespace r4ncl::compress {
+
+namespace {
+constexpr std::uint8_t kDeltaEscape = 0xff;  // delta ≥ 255 → escape + u16 delta
+}
+
+AerRaster aer_encode(const data::SpikeRaster& raster) {
+  R4NCL_CHECK(raster.channels < 0x10000, "AER channel field is u16");
+  AerRaster out;
+  out.timesteps = static_cast<std::uint32_t>(raster.timesteps);
+  out.channels = static_cast<std::uint32_t>(raster.channels);
+  std::size_t prev_t = 0;
+  for (std::size_t t = 0; t < raster.timesteps; ++t) {
+    for (std::size_t c = 0; c < raster.channels; ++c) {
+      if (raster.bits[t * raster.channels + c] == 0) continue;
+      std::size_t delta = t - prev_t;
+      while (delta >= kDeltaEscape) {
+        // Escape: emit 0xff + u16 chunk of the delta (handles long silences).
+        out.payload.push_back(kDeltaEscape);
+        const std::uint16_t chunk =
+            delta > 0xffff ? 0xffff : static_cast<std::uint16_t>(delta);
+        out.payload.push_back(static_cast<std::uint8_t>(chunk & 0xff));
+        out.payload.push_back(static_cast<std::uint8_t>(chunk >> 8));
+        delta -= chunk;
+      }
+      out.payload.push_back(static_cast<std::uint8_t>(delta));
+      out.payload.push_back(static_cast<std::uint8_t>(c & 0xff));
+      out.payload.push_back(static_cast<std::uint8_t>(c >> 8));
+      prev_t = t;
+      ++out.num_events;
+    }
+  }
+  return out;
+}
+
+data::SpikeRaster aer_decode(const AerRaster& aer) {
+  data::SpikeRaster out(aer.timesteps, aer.channels);
+  std::size_t t = 0;
+  std::size_t i = 0;
+  std::uint32_t decoded = 0;
+  while (i < aer.payload.size()) {
+    std::size_t delta = 0;
+    while (aer.payload[i] == kDeltaEscape) {
+      R4NCL_CHECK(i + 2 < aer.payload.size(), "truncated AER escape");
+      delta += static_cast<std::size_t>(aer.payload[i + 1]) |
+               (static_cast<std::size_t>(aer.payload[i + 2]) << 8);
+      i += 3;
+      R4NCL_CHECK(i < aer.payload.size(), "truncated AER stream");
+    }
+    delta += aer.payload[i];
+    ++i;
+    R4NCL_CHECK(i + 1 < aer.payload.size(), "truncated AER channel");
+    const std::size_t c = static_cast<std::size_t>(aer.payload[i]) |
+                          (static_cast<std::size_t>(aer.payload[i + 1]) << 8);
+    i += 2;
+    t += delta;
+    R4NCL_CHECK(t < aer.timesteps && c < aer.channels, "AER event out of bounds");
+    out.bits[t * aer.channels + c] = 1;
+    ++decoded;
+  }
+  R4NCL_CHECK(decoded == aer.num_events, "AER event count mismatch");
+  return out;
+}
+
+std::size_t aer_bytes(const data::SpikeRaster& raster) {
+  // Encoding is cheap enough to just do; kept as a function for call sites
+  // that only need the size.
+  return aer_encode(raster).payload_bytes();
+}
+
+bool aer_is_smaller(const data::SpikeRaster& raster) {
+  return aer_bytes(raster) < pack(raster).payload_bytes();
+}
+
+}  // namespace r4ncl::compress

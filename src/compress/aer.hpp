@@ -1,0 +1,48 @@
+// Address-Event Representation (AER) storage of spike rasters.
+//
+// Neuromorphic sensors and chips exchange spikes as (timestep, channel)
+// event tuples rather than dense bitmaps.  For sparse rasters AER is the
+// smaller encoding; for dense rasters bit-packing wins.  The latent-replay
+// buffer's bitmap format (bitpack.hpp) is what the paper's memory accounting
+// uses; this module provides the AER alternative plus the crossover analysis
+// (aer_is_smaller) so deployments can pick per-layer.
+//
+// Encoding: events sorted by (t, channel); timestep stored as a delta from
+// the previous event's timestep (u8 with 255-escape), channel as u16.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/spike_data.hpp"
+
+namespace r4ncl::compress {
+
+/// AER-encoded raster.
+struct AerRaster {
+  std::uint32_t timesteps = 0;
+  std::uint32_t channels = 0;
+  /// Encoded event stream (delta-t / channel pairs).
+  std::vector<std::uint8_t> payload;
+  /// Number of events (spikes) encoded.
+  std::uint32_t num_events = 0;
+
+  [[nodiscard]] std::size_t payload_bytes() const noexcept { return payload.size(); }
+};
+
+/// Encodes a dense raster into the AER event stream.
+AerRaster aer_encode(const data::SpikeRaster& raster);
+
+/// Decodes back to a dense raster; exact inverse of aer_encode.
+data::SpikeRaster aer_decode(const AerRaster& aer);
+
+/// Bytes the AER encoding needs for a raster of the given geometry/density
+/// (without encoding it): events·3 bytes + escape bytes are density-data
+/// dependent, so this computes the exact size by encoding-free counting.
+std::size_t aer_bytes(const data::SpikeRaster& raster);
+
+/// True when AER storage is smaller than byte-padded bit-packing for this
+/// raster — the sparse/dense crossover used for per-layer format selection.
+bool aer_is_smaller(const data::SpikeRaster& raster);
+
+}  // namespace r4ncl::compress

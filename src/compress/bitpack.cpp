@@ -1,0 +1,42 @@
+#include "compress/bitpack.hpp"
+
+#include "util/error.hpp"
+
+namespace r4ncl::compress {
+
+PackedRaster pack(const data::SpikeRaster& raster) {
+  PackedRaster out;
+  out.timesteps = static_cast<std::uint32_t>(raster.timesteps);
+  out.channels = static_cast<std::uint32_t>(raster.channels);
+  const std::size_t row_bytes = out.row_bytes();
+  out.payload.assign(raster.timesteps * row_bytes, 0);
+  for (std::size_t t = 0; t < raster.timesteps; ++t) {
+    std::uint8_t* row = out.payload.data() + t * row_bytes;
+    const std::uint8_t* src = raster.bits.data() + t * raster.channels;
+    for (std::size_t c = 0; c < raster.channels; ++c) {
+      if (src[c] != 0) row[c >> 3] |= static_cast<std::uint8_t>(1u << (c & 7u));
+    }
+  }
+  return out;
+}
+
+data::SpikeRaster unpack(const PackedRaster& packed) {
+  data::SpikeRaster out(packed.timesteps, packed.channels);
+  const std::size_t row_bytes = packed.row_bytes();
+  R4NCL_CHECK(packed.payload.size() == packed.timesteps * row_bytes,
+              "packed payload size mismatch");
+  for (std::size_t t = 0; t < packed.timesteps; ++t) {
+    const std::uint8_t* row = packed.payload.data() + t * row_bytes;
+    std::uint8_t* dst = out.bits.data() + t * packed.channels;
+    for (std::size_t c = 0; c < packed.channels; ++c) {
+      dst[c] = (row[c >> 3] >> (c & 7u)) & 1u;
+    }
+  }
+  return out;
+}
+
+std::size_t stored_bytes(const PackedRaster& packed, std::size_t header_bytes) {
+  return packed.payload_bytes() + header_bytes;
+}
+
+}  // namespace r4ncl::compress

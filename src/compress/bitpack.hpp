@@ -1,0 +1,40 @@
+// Bit-packing of spike rasters for latent-memory accounting and storage.
+//
+// A raster is stored as one bit per (timestep × channel) cell, padded to a
+// whole byte per *timestep row* — the layout a DMA engine would use to stream
+// one timestep at a time into a neuromorphic core.  The byte-per-row padding
+// is also what makes the paper's latent-memory savings land in the
+// 20–21.88% band instead of exactly 20% (see DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/spike_data.hpp"
+
+namespace r4ncl::compress {
+
+/// A bit-packed raster plus its geometry.
+struct PackedRaster {
+  std::uint32_t timesteps = 0;
+  std::uint32_t channels = 0;
+  std::vector<std::uint8_t> payload;
+
+  /// Bytes needed per timestep row (channels bits, byte-padded).
+  [[nodiscard]] std::size_t row_bytes() const noexcept { return (channels + 7u) / 8u; }
+
+  /// Total payload bytes.
+  [[nodiscard]] std::size_t payload_bytes() const noexcept { return payload.size(); }
+};
+
+/// Packs a binary raster (1 bit per cell, row-padded to bytes).
+PackedRaster pack(const data::SpikeRaster& raster);
+
+/// Unpacks back to a dense raster; exact inverse of pack().
+data::SpikeRaster unpack(const PackedRaster& packed);
+
+/// Storage bytes for a packed raster including the fixed per-sample header
+/// (geometry + label + codec metadata) a replay buffer must keep.
+std::size_t stored_bytes(const PackedRaster& packed, std::size_t header_bytes);
+
+}  // namespace r4ncl::compress

@@ -1,0 +1,78 @@
+#include "compress/spike_codec.hpp"
+
+#include "util/error.hpp"
+
+namespace r4ncl::compress {
+
+data::SpikeRaster compress(const data::SpikeRaster& raster, const CodecConfig& config) {
+  R4NCL_CHECK(config.ratio >= 1, "codec ratio must be >= 1");
+  if (config.ratio == 1) return raster;
+  const std::size_t T = raster.timesteps;
+  const std::size_t Tc = (T + config.ratio - 1) / config.ratio;
+  data::SpikeRaster out(Tc, raster.channels);
+  for (std::size_t tc = 0; tc < Tc; ++tc) {
+    const std::size_t lo = tc * config.ratio;
+    const std::size_t hi = std::min<std::size_t>(lo + config.ratio, T);
+    for (std::size_t c = 0; c < raster.channels; ++c) {
+      std::uint8_t bit = 0;
+      switch (config.strategy) {
+        case CodecStrategy::kSubsample:
+          bit = raster.bits[lo * raster.channels + c];
+          break;
+        case CodecStrategy::kGroupOr: {
+          for (std::size_t t = lo; t < hi && bit == 0; ++t) {
+            bit = raster.bits[t * raster.channels + c];
+          }
+          break;
+        }
+        case CodecStrategy::kGroupMajority: {
+          std::size_t count = 0;
+          for (std::size_t t = lo; t < hi; ++t) count += raster.bits[t * raster.channels + c];
+          bit = 2 * count > (hi - lo) ? 1 : 0;
+          break;
+        }
+      }
+      out.bits[tc * out.channels + c] = bit;
+    }
+  }
+  return out;
+}
+
+data::SpikeRaster decompress(const data::SpikeRaster& compressed,
+                             std::size_t original_timesteps, const CodecConfig& config) {
+  R4NCL_CHECK(config.ratio >= 1, "codec ratio must be >= 1");
+  if (config.ratio == 1) return compressed;
+  const std::size_t expected = (original_timesteps + config.ratio - 1) / config.ratio;
+  R4NCL_CHECK(compressed.timesteps == expected,
+              "compressed raster has " << compressed.timesteps << " steps, expected "
+                                       << expected);
+  data::SpikeRaster out(original_timesteps, compressed.channels);
+  for (std::size_t tc = 0; tc < compressed.timesteps; ++tc) {
+    const std::size_t t0 = tc * config.ratio;  // group start (Fig. 7 convention)
+    if (t0 >= original_timesteps) break;
+    for (std::size_t c = 0; c < compressed.channels; ++c) {
+      out.bits[t0 * out.channels + c] = compressed.bits[tc * compressed.channels + c];
+    }
+  }
+  return out;
+}
+
+PackedRaster compress_packed(const data::SpikeRaster& raster, const CodecConfig& config) {
+  return pack(compress(raster, config));
+}
+
+data::SpikeRaster decompress_packed(const PackedRaster& packed,
+                                    std::size_t original_timesteps,
+                                    const CodecConfig& config) {
+  return decompress(unpack(packed), original_timesteps, config);
+}
+
+double spike_retention(const data::SpikeRaster& original, const CodecConfig& config) {
+  const std::size_t before = original.spike_count();
+  if (before == 0) return 1.0;
+  const data::SpikeRaster round =
+      decompress(compress(original, config), original.timesteps, config);
+  return static_cast<double>(round.spike_count()) / static_cast<double>(before);
+}
+
+}  // namespace r4ncl::compress

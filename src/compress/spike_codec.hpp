@@ -1,0 +1,55 @@
+// Lossy spike compression/decompression along the time axis (paper Fig. 7,
+// adopted from SpikingLR).
+//
+// With ratio r, compression keeps one bit per group of r source timesteps;
+// decompression re-expands each kept bit to the *first* slot of its group and
+// zero-fills the rest.  The paper's Fig. 7 example (14 → 7 → 14 bits, r = 2)
+// corresponds to the kSubsample strategy and is reproduced bit-exactly in
+// tests/test_spike_codec.cpp.
+//
+// Two additional strategies are provided for the ablation bench:
+//   kGroupOr        — compressed bit = OR of the group (keeps bursts alive)
+//   kGroupMajority  — compressed bit = majority vote of the group
+#pragma once
+
+#include <cstdint>
+
+#include "compress/bitpack.hpp"
+#include "data/spike_data.hpp"
+
+namespace r4ncl::compress {
+
+/// How a group of `ratio` source timesteps maps to one compressed bit.
+enum class CodecStrategy : std::uint8_t {
+  kSubsample,      // keep the first bit of each group (paper Fig. 7)
+  kGroupOr,        // OR over the group
+  kGroupMajority,  // 1 iff more than half the group spiked
+};
+
+/// Codec configuration.
+struct CodecConfig {
+  std::uint32_t ratio = 2;  // source timesteps per compressed bit
+  CodecStrategy strategy = CodecStrategy::kSubsample;
+};
+
+/// Compresses along time: output has ceil(T / ratio) timesteps.
+data::SpikeRaster compress(const data::SpikeRaster& raster, const CodecConfig& config);
+
+/// Decompresses to `original_timesteps` steps: each compressed bit is placed
+/// at its group's first slot, remaining slots zero (Fig. 7 bottom row).
+data::SpikeRaster decompress(const data::SpikeRaster& compressed,
+                             std::size_t original_timesteps, const CodecConfig& config);
+
+/// Compress + bit-pack in one step (what the latent-replay buffer stores).
+PackedRaster compress_packed(const data::SpikeRaster& raster, const CodecConfig& config);
+
+/// Unpack + decompress in one step.
+data::SpikeRaster decompress_packed(const PackedRaster& packed,
+                                    std::size_t original_timesteps,
+                                    const CodecConfig& config);
+
+/// Fraction of spikes surviving a compress→decompress round trip; a cheap
+/// information-retention proxy used by the codec ablation.
+double spike_retention(const data::SpikeRaster& original, const CodecConfig& config);
+
+}  // namespace r4ncl::compress

@@ -1,0 +1,149 @@
+#include "core/continual_trainer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace r4ncl::core {
+
+namespace {
+
+/// Runs the frozen prefix [0, insertion) over a dataset and returns the
+/// latent dataset at the insertion point.  Identity when insertion == 0.
+data::Dataset frozen_inference(const snn::SnnNetwork& net, const data::Dataset& dataset,
+                               std::size_t insertion, const snn::ThresholdPolicy& policy,
+                               std::size_t batch_size, snn::SpikeOpStats* stats) {
+  if (insertion == 0 || dataset.empty()) return dataset;
+  data::Dataset out;
+  out.reserve(dataset.size());
+  std::vector<std::size_t> indices(dataset.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  for (std::size_t lo = 0; lo < indices.size(); lo += batch_size) {
+    const std::size_t hi = std::min(indices.size(), lo + batch_size);
+    const std::span<const std::size_t> idx(indices.data() + lo, hi - lo);
+    const Tensor x = data::make_batch(dataset, idx);
+    const Tensor latent = net.run_hidden(x, 0, insertion, policy, stats);
+    for (std::size_t b = 0; b < idx.size(); ++b) {
+      out.push_back({data::batch_to_raster(latent, b), dataset[idx[b]].label});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double ClRunResult::total_latency_ms() const noexcept {
+  double total = prep_latency_ms;
+  for (const auto& r : rows) total += r.latency_ms;
+  return total;
+}
+
+double ClRunResult::total_energy_uj() const noexcept {
+  double total = prep_energy_uj;
+  for (const auto& r : rows) total += r.energy_uj;
+  return total;
+}
+
+ClRunResult run_continual_learning(snn::SnnNetwork& net,
+                                   const data::ClassIncrementalTasks& tasks,
+                                   const ClRunConfig& config) {
+  const NclMethodConfig& method = config.method;
+  R4NCL_CHECK(config.insertion_layer <= net.num_hidden(),
+              "insertion layer " << config.insertion_layer << " out of range");
+  R4NCL_CHECK(config.epochs > 0, "need at least one epoch");
+  R4NCL_CHECK(config.eval_every > 0, "eval_every must be positive");
+
+  Stopwatch total_watch;
+  const metrics::EnergyModel energy_model(config.energy_params);
+  const metrics::LatencyModel latency_model(config.latency_params);
+  const snn::ThresholdPolicy policy = method.policy();
+
+  ClRunResult result;
+  result.method_name = method.name;
+  result.insertion_layer = config.insertion_layer;
+
+  // ---- Phase 1: network preparation (Alg. 1 lines 6–20) -----------------
+  LatentReplayBuffer buffer(method.storage_codec, method.cl_timesteps);
+  if (method.use_replay) {
+    const data::Dataset replay_rescaled =
+        data::time_rescale(tasks.replay_subset, method.cl_timesteps, method.rescale);
+    const data::Dataset latents =
+        frozen_inference(net, replay_rescaled, config.insertion_layer, policy,
+                         method.batch_size, &result.prep_stats);
+    for (const auto& s : latents) buffer.add(s.raster, s.label);
+    result.latent_memory_bytes = buffer.memory_bytes();
+  }
+  result.prep_latency_ms = latency_model.latency_ms(result.prep_stats);
+  result.prep_energy_uj = energy_model.energy_uj(result.prep_stats);
+
+  // New-task training data in the method's time base.
+  const data::Dataset new_train_rescaled =
+      data::time_rescale(tasks.new_train, method.cl_timesteps, method.rescale);
+
+  // Deployment-configuration evaluation settings (Sec. IV: accuracy is
+  // measured with the method's own timestep and threshold behaviour).
+  metrics::EvalSettings eval_settings;
+  eval_settings.timesteps = method.cl_timesteps;
+  eval_settings.rescale = method.rescale;
+  eval_settings.policy = policy;
+
+  // ---- Phase 2: NCL training (Alg. 1 lines 21–33) ------------------------
+  snn::AdamOptimizer optimizer;
+  Rng epoch_rng(config.seed);
+  result.rows.reserve(config.epochs);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    Stopwatch epoch_watch;
+    ClEpochRow row;
+    row.epoch = epoch;
+
+    // A_new = inference(net_f, TS_cl)  (Alg. 1 line 23, recomputed per epoch)
+    data::Dataset mixed =
+        frozen_inference(net, new_train_rescaled, config.insertion_layer, policy,
+                         method.batch_size, &row.stats);
+    // A_LR from the buffer (decompression charged to this epoch).
+    if (method.use_replay) {
+      data::Dataset replay = buffer.materialize(&row.stats);
+      mixed.insert(mixed.end(), std::make_move_iterator(replay.begin()),
+                   std::make_move_iterator(replay.end()));
+    }
+
+    // Train the learning layers on A_new ∪ A_LR (Alg. 1 line 31).
+    snn::TrainOptions opts;
+    opts.epochs = 1;
+    opts.batch_size = method.batch_size;
+    opts.lr = method.lr_cl;
+    opts.insertion_layer = config.insertion_layer;
+    opts.policy = policy;
+    opts.shuffle_seed = epoch_rng();
+    const auto history = snn::train_supervised(net, mixed, optimizer, opts);
+    row.loss = history.front().loss;
+    row.stats.add(history.front().stats);
+
+    row.latency_ms = latency_model.latency_ms(row.stats);
+    row.energy_uj = energy_model.energy_uj(row.stats);
+
+    const bool evaluate_now =
+        (epoch % config.eval_every == 0) || (epoch + 1 == config.epochs);
+    if (evaluate_now) {
+      const metrics::TaskAccuracy acc = metrics::evaluate_tasks(net, tasks, eval_settings);
+      row.acc_old = acc.old_tasks;
+      row.acc_new = acc.new_task;
+      result.final_acc_old = acc.old_tasks;
+      result.final_acc_new = acc.new_task;
+    }
+    row.wall_seconds = epoch_watch.elapsed_seconds();
+    if (config.verbose) {
+      R4NCL_INFO(method.name << " L" << config.insertion_layer << " epoch " << epoch
+                             << ": loss=" << row.loss << " old=" << row.acc_old
+                             << " new=" << row.acc_new << " (" << row.wall_seconds << "s)");
+    }
+    result.rows.push_back(std::move(row));
+  }
+  result.total_wall_seconds = total_watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace r4ncl::core

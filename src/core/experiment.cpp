@@ -1,0 +1,71 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/parallel.hpp"
+
+namespace r4ncl::core {
+
+PretrainConfig standard_pretrain_config(double scale) {
+  scale = std::clamp(scale, 0.05, 4.0);
+  PretrainConfig config;
+  // Paper geometry: 700-200-100-50 hidden stack, 20-class readout, T = 100.
+  config.network.layer_sizes = {700, 200, 100, 50};
+  config.network.num_classes = 20;
+  config.network.lif.beta = 0.95f;
+  config.network.surrogate = {snn::SurrogateKind::kFastSigmoid, 10.0f};
+  config.network.readout_beta = 0.95f;
+  config.network.seed = 7;
+  config.data_params = {};  // 700 channels, 20 classes, 100 timesteps
+  config.split.train_per_class = std::max<std::size_t>(4, static_cast<std::size_t>(12 * scale));
+  config.split.test_per_class = std::max<std::size_t>(4, static_cast<std::size_t>(8 * scale));
+  // Two retained samples per old class keeps the replay buffer small enough
+  // that catastrophic-forgetting pressure is visible (as in the paper, where
+  // the latent memory is a scarce on-device resource).
+  config.split.replay_per_class = std::max<std::size_t>(2, static_cast<std::size_t>(2 * scale));
+  config.split.new_class = 19;
+  config.epochs = 8;
+  config.batch_size = 16;
+  config.lr = kEtaPre;
+  return config;
+}
+
+PretrainConfig pretrain_config_from(const Config& cfg) {
+  PretrainConfig config = standard_pretrain_config(cfg.get_double("scale", 1.0));
+  config.epochs = static_cast<std::size_t>(
+      cfg.get_int("pretrain_epochs", static_cast<long long>(config.epochs)));
+  return config;
+}
+
+PretrainedScenario standard_scenario(const Config& cfg) {
+  init_log_level_from_env();
+  init_threads_from_env();
+  if (const long long threads = cfg.get_int("threads", 0); threads > 0) {
+    set_num_threads(static_cast<int>(threads));
+  }
+  const PretrainConfig config = pretrain_config_from(cfg);
+  const bool use_cache = cfg.get_bool("cache", true);
+  return make_pretrained_scenario(config, cfg.get_string("cache_dir", "."), use_cache,
+                                  cfg.get_bool("verbose", false));
+}
+
+NclMethodConfig bench_replay4ncl(std::size_t timesteps) {
+  NclMethodConfig cfg = NclMethodConfig::replay4ncl(timesteps);
+  cfg.lr_cl = kEtaPre / 5.0f;  // step-count rescaling; see header comment
+  return cfg;
+}
+
+NclMethodConfig bench_spiking_lr() { return NclMethodConfig::spiking_lr(); }
+
+std::string summarize(const ClRunResult& result) {
+  std::ostringstream os;
+  os << result.method_name << " @L" << result.insertion_layer << ": old="
+     << result.final_acc_old * 100.0 << "% new=" << result.final_acc_new * 100.0
+     << "% latency=" << result.total_latency_ms() << "ms energy="
+     << result.total_energy_uj() << "uJ latent_mem=" << result.latent_memory_bytes << "B";
+  return os.str();
+}
+
+}  // namespace r4ncl::core

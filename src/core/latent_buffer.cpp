@@ -1,0 +1,52 @@
+#include "core/latent_buffer.hpp"
+
+#include "util/error.hpp"
+
+namespace r4ncl::core {
+
+LatentReplayBuffer::LatentReplayBuffer(const compress::CodecConfig& codec,
+                                       std::size_t activation_timesteps)
+    : codec_(codec), activation_timesteps_(activation_timesteps) {
+  R4NCL_CHECK(activation_timesteps > 0, "activation_timesteps must be positive");
+  R4NCL_CHECK(codec.ratio >= 1, "codec ratio must be >= 1");
+}
+
+void LatentReplayBuffer::add(const data::SpikeRaster& raster, std::int32_t label) {
+  R4NCL_CHECK(raster.timesteps == activation_timesteps_,
+              "raster has " << raster.timesteps << " steps, buffer expects "
+                            << activation_timesteps_);
+  if (entries_.empty()) {
+    channels_ = raster.channels;
+  } else {
+    R4NCL_CHECK(raster.channels == channels_, "raster has " << raster.channels
+                                                            << " channels, buffer holds "
+                                                            << channels_);
+  }
+  Entry entry;
+  entry.packed = compress::compress_packed(raster, codec_);
+  entry.label = label;
+  entries_.push_back(std::move(entry));
+}
+
+std::size_t LatentReplayBuffer::memory_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const Entry& e : entries_) {
+    total += compress::stored_bytes(e.packed, header_bytes());
+  }
+  return total;
+}
+
+data::Dataset LatentReplayBuffer::materialize(snn::SpikeOpStats* stats) const {
+  data::Dataset out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    out.push_back(
+        {compress::decompress_packed(e.packed, activation_timesteps_, codec_), e.label});
+    if (stats != nullptr && codec_.ratio > 1) {
+      stats->decompress_bits += static_cast<std::uint64_t>(e.packed.payload_bytes()) * 8u;
+    }
+  }
+  return out;
+}
+
+}  // namespace r4ncl::core

@@ -1,0 +1,49 @@
+#include "core/method_config.hpp"
+
+namespace r4ncl::core {
+
+snn::ThresholdPolicy NclMethodConfig::policy() const {
+  if (adaptive_threshold) {
+    return snn::ThresholdPolicy::adaptive(static_cast<int>(cl_timesteps), threshold_base,
+                                          adjust_interval);
+  }
+  return snn::ThresholdPolicy::fixed(threshold_base);
+}
+
+NclMethodConfig NclMethodConfig::replay4ncl(std::size_t timesteps) {
+  NclMethodConfig cfg;
+  cfg.name = "Replay4NCL";
+  cfg.cl_timesteps = timesteps;                 // Sec. III-A: T* = 40
+  cfg.storage_codec = {.ratio = 1};             // stored directly at T*
+  cfg.lr_cl = kEtaPre / 100.0f;                 // Alg. 1 line 6/21
+  cfg.adaptive_threshold = true;                // Alg. 1 lines 10–17 / 25–30
+  return cfg;
+}
+
+NclMethodConfig NclMethodConfig::spiking_lr() {
+  NclMethodConfig cfg;
+  cfg.name = "SpikingLR";
+  cfg.cl_timesteps = 100;                       // SOTA operates at T = 100
+  cfg.storage_codec = {.ratio = 2, .strategy = compress::CodecStrategy::kSubsample};
+  cfg.lr_cl = kEtaPre;
+  cfg.adaptive_threshold = false;
+  return cfg;
+}
+
+NclMethodConfig NclMethodConfig::spiking_lr_reduced(std::size_t timesteps) {
+  NclMethodConfig cfg = spiking_lr();
+  cfg.name = "SpikingLR-T" + std::to_string(timesteps);
+  cfg.cl_timesteps = timesteps;  // naive reduction, no compensation (Fig. 8)
+  return cfg;
+}
+
+NclMethodConfig NclMethodConfig::naive_baseline() {
+  NclMethodConfig cfg;
+  cfg.name = "Baseline";
+  cfg.cl_timesteps = 100;
+  cfg.use_replay = false;  // fine-tune on the new task only → forgetting
+  cfg.lr_cl = kEtaPre;
+  return cfg;
+}
+
+}  // namespace r4ncl::core

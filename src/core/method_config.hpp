@@ -1,0 +1,57 @@
+// Method configurations for the continual-learning comparison.
+//
+// One struct parameterises every method evaluated in the paper:
+//   * replay4ncl()    — the proposed methodology: reduced timestep (T* = 40),
+//                       raw latent storage at T*, adaptive threshold,
+//                       η_cl = η_pre / 100 (Sec. III).
+//   * spiking_lr()    — the state of the art (Dequino et al.): T = 100,
+//                       latent codec ratio 2, fixed threshold, η_cl = η_pre.
+//   * spiking_lr_reduced(T) — SpikingLR with naive timestep reduction and no
+//                       compensation (the Fig. 2b / Fig. 8 case study).
+//   * naive_baseline() — no replay at all: plain fine-tuning on the new task
+//                       (the catastrophic-forgetting baseline of Fig. 1a).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "compress/spike_codec.hpp"
+#include "data/spike_data.hpp"
+#include "snn/network.hpp"
+
+namespace r4ncl::core {
+
+/// Pre-training learning rate shared by all methods (Alg. 1 line 2).
+inline constexpr float kEtaPre = 1e-3f;
+
+/// Everything that distinguishes one NCL method from another.
+struct NclMethodConfig {
+  std::string name = "method";
+  /// Timesteps used for latent generation, CL training and deployment.
+  std::size_t cl_timesteps = 100;
+  /// Codec applied to stored latent activations (ratio 1 = raw).
+  compress::CodecConfig storage_codec{};
+  /// CL-phase learning rate (Alg. 1: η_pre / 100 for Replay4NCL).
+  float lr_cl = kEtaPre;
+  /// Whether the Alg. 1 adaptive threshold controller is active.
+  bool adaptive_threshold = false;
+  /// Fixed threshold value / adaptive-rule base.
+  float threshold_base = 1.0f;
+  /// Adaptive-rule adjustment interval (Alg. 1: 5).
+  int adjust_interval = 5;
+  /// How input data is re-binned onto cl_timesteps.
+  data::TimeRescaleMethod rescale = data::TimeRescaleMethod::kGroupOr;
+  /// Latent replay on/off (off = naive fine-tuning baseline).
+  bool use_replay = true;
+  std::size_t batch_size = 16;
+
+  /// Builds the ThresholdPolicy implied by this method.
+  [[nodiscard]] snn::ThresholdPolicy policy() const;
+
+  static NclMethodConfig replay4ncl(std::size_t timesteps = 40);
+  static NclMethodConfig spiking_lr();
+  static NclMethodConfig spiking_lr_reduced(std::size_t timesteps);
+  static NclMethodConfig naive_baseline();
+};
+
+}  // namespace r4ncl::core

@@ -1,0 +1,50 @@
+// Pre-training phase (Alg. 1 lines 1–5) with an on-disk checkpoint cache.
+//
+// Every bench needs the same pre-trained 19-class network; training it takes
+// tens of seconds, so the first binary to need it trains and saves a
+// checkpoint keyed by a hash of the full configuration, and later binaries
+// load it.  Delete r4ncl_pretrain_*.ckpt (or pass use_cache = false) to force
+// retraining.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/tasks.hpp"
+#include "snn/trainer.hpp"
+
+namespace r4ncl::core {
+
+/// Full description of the pre-training experiment.
+struct PretrainConfig {
+  snn::NetworkConfig network;
+  data::ShdSynthParams data_params;
+  data::TaskSplitParams split;
+  std::size_t epochs = 12;
+  std::size_t batch_size = 16;
+  float lr = 1e-3f;  // η_pre (Alg. 1 line 2)
+  std::uint64_t shuffle_seed = 77;
+};
+
+/// A pre-trained network plus the task splits it was trained against.
+struct PretrainedScenario {
+  snn::SnnNetwork net;
+  data::ClassIncrementalTasks tasks;
+  /// Old-task test accuracy after pre-training (native timestep, fixed θ).
+  double pretrain_accuracy = 0.0;
+  /// Per-epoch history (empty when loaded from cache).
+  std::vector<snn::EpochRecord> history;
+  bool loaded_from_cache = false;
+};
+
+/// FNV-1a hash over every field that influences the pre-trained weights;
+/// used as the checkpoint cache key.
+std::uint64_t pretrain_config_hash(const PretrainConfig& config);
+
+/// Builds (or loads from `cache_dir`) the pre-trained scenario.
+PretrainedScenario make_pretrained_scenario(const PretrainConfig& config,
+                                            const std::string& cache_dir = ".",
+                                            bool use_cache = true, bool verbose = false);
+
+}  // namespace r4ncl::core

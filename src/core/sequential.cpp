@@ -1,0 +1,135 @@
+#include "core/sequential.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace r4ncl::core {
+
+namespace {
+
+/// Frozen-prefix inference of a dataset (identity when insertion == 0).
+data::Dataset to_latents(const snn::SnnNetwork& net, const data::Dataset& dataset,
+                         std::size_t insertion, const snn::ThresholdPolicy& policy,
+                         std::size_t batch_size, snn::SpikeOpStats* stats) {
+  if (insertion == 0 || dataset.empty()) return dataset;
+  data::Dataset out;
+  out.reserve(dataset.size());
+  std::vector<std::size_t> indices(dataset.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  for (std::size_t lo = 0; lo < indices.size(); lo += batch_size) {
+    const std::size_t hi = std::min(indices.size(), lo + batch_size);
+    const std::span<const std::size_t> idx(indices.data() + lo, hi - lo);
+    const Tensor x = data::make_batch(dataset, idx);
+    const Tensor latent = net.run_hidden(x, 0, insertion, policy, stats);
+    for (std::size_t b = 0; b < idx.size(); ++b) {
+      out.push_back({data::batch_to_raster(latent, b), dataset[idx[b]].label});
+    }
+  }
+  return out;
+}
+
+double accuracy_at(const snn::SnnNetwork& net, const data::Dataset& test,
+                   const NclMethodConfig& method) {
+  const data::Dataset rescaled =
+      data::time_rescale(test, method.cl_timesteps, method.rescale);
+  return snn::evaluate(net, rescaled, 0, method.policy());
+}
+
+}  // namespace
+
+SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialTasks& tasks,
+                                   const SequentialRunConfig& config) {
+  const NclMethodConfig& method = config.method;
+  R4NCL_CHECK(!tasks.task_classes.empty(), "no tasks to learn");
+  R4NCL_CHECK(config.insertion_layer <= net.num_hidden(), "insertion layer out of range");
+  R4NCL_CHECK(config.epochs_per_task > 0, "need at least one epoch per task");
+
+  const metrics::EnergyModel energy_model(config.energy_params);
+  const metrics::LatencyModel latency_model(config.latency_params);
+  const snn::ThresholdPolicy policy = method.policy();
+
+  SequentialRunResult result;
+  result.method_name = method.name;
+
+  // Base-class latents seed the buffer (Alg. 1 network preparation).
+  LatentReplayBuffer buffer(method.storage_codec, method.cl_timesteps);
+  snn::SpikeOpStats prep_stats;
+  {
+    const data::Dataset rescaled =
+        data::time_rescale(tasks.replay_subset, method.cl_timesteps, method.rescale);
+    for (const auto& s : to_latents(net, rescaled, config.insertion_layer, policy,
+                                    method.batch_size, &prep_stats)) {
+      buffer.add(s.raster, s.label);
+    }
+  }
+  result.total_latency_ms += latency_model.latency_ms(prep_stats);
+  result.total_energy_uj += energy_model.energy_uj(prep_stats);
+
+  Rng seed_rng(config.seed);
+  for (std::size_t task = 0; task < tasks.task_classes.size(); ++task) {
+    SequentialTaskRow row;
+    row.task_index = task;
+    row.class_id = tasks.task_classes[task];
+    snn::SpikeOpStats task_stats;
+
+    const data::Dataset new_rescaled = data::time_rescale(
+        tasks.task_train[task], method.cl_timesteps, method.rescale);
+
+    // CL phase for this task (Alg. 1 lines 21–33 against the current buffer).
+    snn::AdamOptimizer optimizer;
+    for (std::size_t epoch = 0; epoch < config.epochs_per_task; ++epoch) {
+      data::Dataset mixed = to_latents(net, new_rescaled, config.insertion_layer, policy,
+                                       method.batch_size, &task_stats);
+      data::Dataset replay = buffer.materialize(&task_stats);
+      mixed.insert(mixed.end(), std::make_move_iterator(replay.begin()),
+                   std::make_move_iterator(replay.end()));
+      snn::TrainOptions opts;
+      opts.epochs = 1;
+      opts.batch_size = method.batch_size;
+      opts.lr = method.lr_cl;
+      opts.insertion_layer = config.insertion_layer;
+      opts.policy = policy;
+      opts.shuffle_seed = seed_rng();
+      const auto history = snn::train_supervised(net, mixed, optimizer, opts);
+      task_stats.add(history.front().stats);
+    }
+
+    // Record the just-learned class into the buffer (on-device latents).
+    {
+      data::Dataset keep = data::take_per_class(
+          new_rescaled, std::span<const std::int32_t>(&row.class_id, 1),
+          config.replay_per_new_class);
+      for (const auto& s : to_latents(net, keep, config.insertion_layer, policy,
+                                      method.batch_size, &task_stats)) {
+        buffer.add(s.raster, s.label);
+      }
+    }
+    row.latent_memory_bytes = buffer.memory_bytes();
+    row.latency_ms = latency_model.latency_ms(task_stats);
+    row.energy_uj = energy_model.energy_uj(task_stats);
+    result.total_latency_ms += row.latency_ms;
+    result.total_energy_uj += row.energy_uj;
+
+    // Evaluation: base classes + every task seen so far.
+    row.acc_base = accuracy_at(net, tasks.pretrain_test, method);
+    double learned_sum = 0.0;
+    for (std::size_t seen = 0; seen <= task; ++seen) {
+      const double acc = accuracy_at(net, tasks.task_test[seen], method);
+      learned_sum += acc;
+      if (seen == task) row.acc_current = acc;
+    }
+    row.acc_learned = learned_sum / static_cast<double>(task + 1);
+    if (config.verbose) {
+      R4NCL_INFO(method.name << " task " << task << " (class " << row.class_id
+                             << "): base=" << row.acc_base << " learned=" << row.acc_learned
+                             << " mem=" << row.latent_memory_bytes << "B");
+    }
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace r4ncl::core

@@ -1,0 +1,85 @@
+#include "data/tasks.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace r4ncl::data {
+
+ClassIncrementalTasks build_class_incremental(const SyntheticShdGenerator& generator,
+                                              const TaskSplitParams& params) {
+  const auto& gp = generator.params();
+  R4NCL_CHECK(params.new_class >= 0 &&
+                  static_cast<std::size_t>(params.new_class) < gp.classes,
+              "new_class out of range");
+  R4NCL_CHECK(params.replay_per_class <= params.train_per_class,
+              "replay subset cannot exceed the training set");
+
+  ClassIncrementalTasks tasks;
+  tasks.new_class = params.new_class;
+  for (std::size_t k = 0; k < gp.classes; ++k) {
+    const auto label = static_cast<std::int32_t>(k);
+    if (label != params.new_class) tasks.old_classes.push_back(label);
+  }
+
+  const std::int32_t new_class[] = {params.new_class};
+  tasks.pretrain_train =
+      generator.make_dataset(tasks.old_classes, params.train_per_class, params.seed);
+  tasks.pretrain_test =
+      generator.make_dataset(tasks.old_classes, params.test_per_class, params.seed + 1);
+  tasks.new_train = generator.make_dataset(new_class, params.train_per_class, params.seed + 2);
+  tasks.new_test = generator.make_dataset(new_class, params.test_per_class, params.seed + 3);
+  // TS_replay ⊆ TS_pre: reuse stored pre-training samples (first per class),
+  // exactly what a deployed system would have kept on device.
+  tasks.replay_subset =
+      take_per_class(tasks.pretrain_train, tasks.old_classes, params.replay_per_class);
+  return tasks;
+}
+
+SequentialTasks build_sequential_tasks(const SyntheticShdGenerator& generator,
+                                       const TaskSplitParams& params,
+                                       std::size_t num_tasks) {
+  const auto& gp = generator.params();
+  R4NCL_CHECK(num_tasks >= 1 && num_tasks < gp.classes,
+              "num_tasks " << num_tasks << " out of range for " << gp.classes << " classes");
+  R4NCL_CHECK(params.replay_per_class <= params.train_per_class,
+              "replay subset cannot exceed the training set");
+
+  SequentialTasks tasks;
+  const std::size_t base_count = gp.classes - num_tasks;
+  for (std::size_t k = 0; k < gp.classes; ++k) {
+    const auto label = static_cast<std::int32_t>(k);
+    if (k < base_count) {
+      tasks.base_classes.push_back(label);
+    } else {
+      tasks.task_classes.push_back(label);
+    }
+  }
+
+  tasks.pretrain_train =
+      generator.make_dataset(tasks.base_classes, params.train_per_class, params.seed);
+  tasks.pretrain_test =
+      generator.make_dataset(tasks.base_classes, params.test_per_class, params.seed + 1);
+  tasks.replay_subset =
+      take_per_class(tasks.pretrain_train, tasks.base_classes, params.replay_per_class);
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    const std::int32_t cls[] = {tasks.task_classes[i]};
+    tasks.task_train.push_back(
+        generator.make_dataset(cls, params.train_per_class, params.seed + 100 + i));
+    tasks.task_test.push_back(
+        generator.make_dataset(cls, params.test_per_class, params.seed + 200 + i));
+  }
+  return tasks;
+}
+
+double fraction_with_labels(const Dataset& dataset, std::span<const std::int32_t> classes) {
+  if (dataset.empty()) return 0.0;
+  const std::set<std::int32_t> keep(classes.begin(), classes.end());
+  std::size_t hits = 0;
+  for (const auto& s : dataset) {
+    if (keep.contains(s.label)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(dataset.size());
+}
+
+}  // namespace r4ncl::data

@@ -1,0 +1,69 @@
+// Class-incremental task protocol (paper Sec. IV).
+//
+// The SNN is pre-trained on 19 of the 20 classes; the 20th class arrives as
+// the continual-learning task.  This header builds the train/test splits for
+// both phases plus the replay subset drawn from the pre-training data
+// (TS_replay ⊆ TS_pre in Alg. 1).
+#pragma once
+
+#include <cstdint>
+
+#include "data/shd_synth.hpp"
+#include "data/spike_data.hpp"
+
+namespace r4ncl::data {
+
+/// Sizing of the class-incremental experiment.
+struct TaskSplitParams {
+  std::size_t train_per_class = 12;
+  std::size_t test_per_class = 8;
+  /// Replay samples kept per old class (TS_replay).
+  std::size_t replay_per_class = 4;
+  /// The held-out class learned during the CL phase.
+  std::int32_t new_class = 19;
+  std::uint64_t seed = 1234;
+};
+
+/// Materialised class-incremental scenario.
+struct ClassIncrementalTasks {
+  /// Classes seen during pre-training (all but new_class).
+  std::vector<std::int32_t> old_classes;
+  std::int32_t new_class = 19;
+
+  Dataset pretrain_train;  // TS_pre
+  Dataset pretrain_test;   // old-task evaluation set
+  Dataset replay_subset;   // TS_replay ⊆ TS_pre
+  Dataset new_train;       // TS_cl
+  Dataset new_test;        // new-task evaluation set
+};
+
+/// Draws the full scenario from the generator.  Train/test/replay sets use
+/// independent seeds derived from params.seed.
+ClassIncrementalTasks build_class_incremental(const SyntheticShdGenerator& generator,
+                                              const TaskSplitParams& params);
+
+/// Top-1 accuracy bookkeeping helper: fraction of samples in `dataset`
+/// whose label is in `classes` (sanity checks for split construction).
+double fraction_with_labels(const Dataset& dataset, std::span<const std::int32_t> classes);
+
+/// Multi-task class-incremental scenario: several held-out classes arrive
+/// one at a time (the paper's single 20th-class experiment generalised to a
+/// task stream — its natural deployment setting for mobile agents).
+struct SequentialTasks {
+  std::vector<std::int32_t> base_classes;  // pre-training classes
+  std::vector<std::int32_t> task_classes;  // arriving classes, in order
+
+  Dataset pretrain_train;
+  Dataset pretrain_test;
+  Dataset replay_subset;              // TS_replay of the base classes
+  std::vector<Dataset> task_train;    // one per arriving class
+  std::vector<Dataset> task_test;
+};
+
+/// Builds a stream of `num_tasks` classes: the highest-numbered classes are
+/// held out and arrive in ascending order; the rest form the base.
+SequentialTasks build_sequential_tasks(const SyntheticShdGenerator& generator,
+                                       const TaskSplitParams& params,
+                                       std::size_t num_tasks);
+
+}  // namespace r4ncl::data

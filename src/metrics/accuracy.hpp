@@ -1,0 +1,44 @@
+// Task-level accuracy bookkeeping for the class-incremental scenario.
+#pragma once
+
+#include "data/tasks.hpp"
+#include "snn/trainer.hpp"
+
+namespace r4ncl::metrics {
+
+/// Old-task / new-task Top-1 accuracies at one evaluation point.
+struct TaskAccuracy {
+  double old_tasks = 0.0;
+  double new_task = 0.0;
+};
+
+/// Evaluation conditions: the deployed configuration of a method (its
+/// timestep setting and threshold policy) must also be used at test time.
+struct EvalSettings {
+  std::size_t timesteps = 100;  // test rasters are rescaled to this
+  data::TimeRescaleMethod rescale = data::TimeRescaleMethod::kGroupOr;
+  snn::ThresholdPolicy policy = snn::ThresholdPolicy::fixed(1.0f);
+  std::size_t batch_size = 32;
+};
+
+/// Evaluates the network on both task test sets under the given settings.
+TaskAccuracy evaluate_tasks(const snn::SnnNetwork& net,
+                            const data::ClassIncrementalTasks& tasks,
+                            const EvalSettings& settings);
+
+/// Forgetting = best old-task accuracy seen so far − current old-task
+/// accuracy (the standard continual-learning forgetting measure).
+class ForgettingTracker {
+ public:
+  /// Records an old-task accuracy; returns current forgetting.
+  double update(double old_task_accuracy) noexcept;
+
+  [[nodiscard]] double best() const noexcept { return best_; }
+  [[nodiscard]] double forgetting() const noexcept { return forgetting_; }
+
+ private:
+  double best_ = 0.0;
+  double forgetting_ = 0.0;
+};
+
+}  // namespace r4ncl::metrics

@@ -1,0 +1,25 @@
+#include "metrics/cost_model.hpp"
+
+namespace r4ncl::metrics {
+
+double EnergyModel::energy_uj(const snn::SpikeOpStats& stats) const noexcept {
+  const double pj = static_cast<double>(stats.synops) * params_.synop_pj +
+                    static_cast<double>(stats.neuron_updates) * params_.neuron_update_pj +
+                    static_cast<double>(stats.spikes) * params_.spike_pj +
+                    static_cast<double>(stats.backward_synops) * params_.backward_op_pj +
+                    static_cast<double>(stats.decompress_bits) * params_.decompress_bit_pj +
+                    static_cast<double>(stats.timestep_slots) * params_.timestep_slot_pj;
+  return pj * 1e-6;  // pJ → µJ
+}
+
+double LatencyModel::latency_ms(const snn::SpikeOpStats& stats) const noexcept {
+  const double ns = static_cast<double>(stats.synops) * params_.synop_ns +
+                    static_cast<double>(stats.neuron_updates) * params_.neuron_update_ns +
+                    static_cast<double>(stats.spikes) * params_.spike_ns +
+                    static_cast<double>(stats.backward_synops) * params_.backward_op_ns +
+                    static_cast<double>(stats.decompress_bits) * params_.decompress_bit_ns +
+                    static_cast<double>(stats.timestep_slots) * params_.timestep_slot_ns;
+  return ns * 1e-6;  // ns → ms
+}
+
+}  // namespace r4ncl::metrics

@@ -1,0 +1,70 @@
+#include "metrics/hw_mapper.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace r4ncl::metrics {
+
+namespace {
+
+/// Places one layer of `neurons` cells with `fan_in` inputs each.
+LayerPlacement place_layer(std::size_t layer, std::size_t neurons, std::size_t fan_in,
+                           const ChipBudget& budget) {
+  LayerPlacement p;
+  p.layer = layer;
+  p.neurons = neurons;
+  p.fan_in = fan_in;
+  // Neuron-count constraint.
+  std::uint32_t cores = static_cast<std::uint32_t>(
+      (neurons + budget.neurons_per_core - 1) / budget.neurons_per_core);
+  // Synapse-memory constraint: each neuron stores fan_in synapses locally.
+  const std::uint64_t bits_per_neuron =
+      static_cast<std::uint64_t>(fan_in) * budget.bits_per_synapse;
+  if (bits_per_neuron > 0) {
+    const std::uint64_t neurons_by_mem =
+        std::max<std::uint64_t>(1, budget.synapse_bits_per_core / bits_per_neuron);
+    const auto cores_by_mem = static_cast<std::uint32_t>(
+        (neurons + neurons_by_mem - 1) / neurons_by_mem);
+    cores = std::max(cores, cores_by_mem);
+  }
+  p.cores_used = std::max<std::uint32_t>(1, cores);
+  const std::size_t neurons_per_used_core =
+      (neurons + p.cores_used - 1) / p.cores_used;
+  p.synapse_fill =
+      static_cast<double>(neurons_per_used_core * bits_per_neuron) /
+      static_cast<double>(budget.synapse_bits_per_core);
+  return p;
+}
+
+}  // namespace
+
+MappingResult map_network(const snn::SnnNetwork& net, std::uint64_t latent_bytes,
+                          const ChipBudget& budget) {
+  R4NCL_CHECK(budget.cores > 0 && budget.neurons_per_core > 0, "degenerate chip budget");
+  MappingResult result;
+  result.latent_bytes = latent_bytes;
+
+  for (std::size_t l = 0; l < net.num_hidden(); ++l) {
+    const auto& layer = net.hidden(l);
+    const std::size_t fan_in =
+        layer.n_in() + (layer.lif().recurrent ? layer.n_out() : 0);
+    result.layers.push_back(place_layer(l, layer.n_out(), fan_in, budget));
+  }
+  result.layers.push_back(place_layer(net.num_hidden(), net.num_classes(),
+                                      net.readout().n_in(), budget));
+
+  result.total_cores = 0;
+  result.fits_synapses = true;
+  for (const auto& p : result.layers) {
+    result.total_cores += p.cores_used;
+    if (p.synapse_fill > 1.0) result.fits_synapses = false;
+  }
+  result.fits_cores = result.total_cores <= budget.cores;
+  result.latent_fits_sram = latent_bytes <= budget.shared_sram_bytes;
+  result.core_utilisation =
+      static_cast<double>(result.total_cores) / static_cast<double>(budget.cores);
+  return result;
+}
+
+}  // namespace r4ncl::metrics

@@ -1,0 +1,60 @@
+// Neuromorphic hardware mapping estimate.
+//
+// The paper targets "tightly-constrained embedded AI systems"; this module
+// answers the deployment question the evaluation implies: does the network —
+// and, for replay methods, the latent buffer — fit a Loihi-class neuromorphic
+// chip, and how many cores does it occupy?
+//
+// Model (per Davies et al., IEEE Micro 2018, order-of-magnitude): a chip is a
+// grid of cores; each core hosts up to `neurons_per_core` neurons and
+// `synapse_bits_per_core` bits of synaptic state; a shared SRAM pool can hold
+// the latent-replay buffer.  Layers are mapped greedily, splitting a layer
+// across ⌈neurons/limit⌉ cores; each core replica stores the full fan-in of
+// its neurons (weights are per-target-neuron local).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/network.hpp"
+
+namespace r4ncl::metrics {
+
+/// Chip resource budget (defaults ≈ one Loihi chip).
+struct ChipBudget {
+  std::uint32_t cores = 128;
+  std::uint32_t neurons_per_core = 1024;
+  /// Synaptic memory per core, in bits (Loihi: 128 KB/core).
+  std::uint64_t synapse_bits_per_core = 128ull * 1024 * 8;
+  /// Bits per stored synapse (weight + routing overhead).
+  std::uint32_t bits_per_synapse = 9;
+  /// Shared on-chip SRAM available for the latent-replay buffer, bytes.
+  std::uint64_t shared_sram_bytes = 512ull * 1024;
+};
+
+/// Mapping of one layer onto cores.
+struct LayerPlacement {
+  std::size_t layer = 0;        // hidden index; num_hidden() = readout
+  std::size_t neurons = 0;
+  std::size_t fan_in = 0;       // feedforward + recurrent inputs per neuron
+  std::uint32_t cores_used = 0;
+  double synapse_fill = 0.0;    // worst-core synaptic memory utilisation
+};
+
+/// Whole-network + buffer mapping result.
+struct MappingResult {
+  std::vector<LayerPlacement> layers;
+  std::uint32_t total_cores = 0;
+  bool fits_cores = false;        // total_cores <= budget.cores
+  bool fits_synapses = false;     // every core's synapse memory suffices
+  bool latent_fits_sram = false;  // buffer bytes <= shared_sram_bytes
+  std::uint64_t latent_bytes = 0;
+  /// Fraction of the chip's cores occupied.
+  double core_utilisation = 0.0;
+};
+
+/// Maps `net` (plus a latent buffer of `latent_bytes`) onto `budget`.
+MappingResult map_network(const snn::SnnNetwork& net, std::uint64_t latent_bytes,
+                          const ChipBudget& budget = {});
+
+}  // namespace r4ncl::metrics

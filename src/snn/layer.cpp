@@ -1,0 +1,207 @@
+#include "snn/layer.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace r4ncl::snn {
+
+namespace {
+constexpr std::uint32_t kLayerTag = make_tag("LAYR");
+}
+
+RecurrentLifLayer::RecurrentLifLayer(std::size_t n_in, std::size_t n_out, const LifParams& lif,
+                                     const SurrogateParams& surrogate, Rng& rng, float gain,
+                                     float rec_gain)
+    : n_in_(n_in),
+      n_out_(n_out),
+      lif_(lif),
+      surrogate_(surrogate),
+      w_ff_(n_in, n_out),
+      w_rec_(lif.recurrent ? n_out : 0, lif.recurrent ? n_out : 0),
+      d_w_ff_(n_in, n_out),
+      d_w_rec_(lif.recurrent ? n_out : 0, lif.recurrent ? n_out : 0) {
+  R4NCL_CHECK(n_in > 0 && n_out > 0, "layer dims must be positive");
+  w_ff_.fill_normal(rng, gain / std::sqrt(static_cast<float>(n_in)));
+  if (lif_.recurrent) {
+    w_rec_.fill_normal(rng, rec_gain / std::sqrt(static_cast<float>(n_out)));
+  }
+}
+
+Tensor RecurrentLifLayer::forward(const Tensor& x, SpikeMode mode,
+                                  const ThresholdPolicy& policy, LayerCache* cache,
+                                  SpikeOpStats* stats) const {
+  R4NCL_CHECK(x.rank() == 3, "input must be (T × B × n_in)");
+  R4NCL_CHECK(x.dim(2) == n_in_, "input feature dim " << x.dim(2) << " != " << n_in_);
+  const std::size_t T = x.dim(0), B = x.dim(1);
+
+  Tensor out(T, B, n_out_);
+  Tensor v(B, n_out_);        // current membrane
+  Tensor prev_s(B, n_out_);   // S(t−1)
+  Tensor current(B, n_out_);  // I(t)
+  if (cache != nullptr) {
+    cache->membrane = Tensor(T, B, n_out_);
+    cache->spikes = Tensor(T, B, n_out_);
+    cache->theta.assign(T, policy.fixed_value);
+  }
+
+  ThresholdState th(policy);
+  float theta_prev = policy.fixed_value;  // θ used for the (empty) step −1 reset
+  const std::size_t bn = B * n_out_;
+
+  for (std::size_t t = 0; t < T; ++t) {
+    const float theta_t = th.threshold_at(static_cast<int>(t));
+
+    // I(t) = X(t)·W_ff (+ S(t−1)·W_rec)
+    kernels::matmul(x.slab(t).data(), B, n_in_, w_ff_.raw(), n_out_, current.raw(), false);
+    if (lif_.recurrent && t > 0) {
+      kernels::matmul(prev_s.raw(), B, n_out_, w_rec_.raw(), n_out_, current.raw(), true);
+    }
+
+    // V(t) = β·V(t−1) − θ(t−1)·S(t−1) + I(t);  S(t) = spike(V(t) − θ(t))
+    float* vp = v.raw();
+    const float* ip = current.raw();
+    const float* sp_prev = prev_s.raw();
+    float* sp_out = out.slab(t).data();
+    std::size_t spike_count = 0;
+    for (std::size_t i = 0; i < bn; ++i) {
+      const float vt = lif_.beta * vp[i] - theta_prev * sp_prev[i] + ip[i];
+      vp[i] = vt;
+      const float u = vt - theta_t;
+      const float s = mode == SpikeMode::kHard ? hard_spike(u) : soft_spike(u, surrogate_);
+      sp_out[i] = s;
+      if (s != 0.0f) ++spike_count;
+    }
+    th.observe(static_cast<int>(t), spike_count);
+
+    if (cache != nullptr) {
+      std::copy(vp, vp + bn, cache->membrane.slab(t).data());
+      std::copy(sp_out, sp_out + bn, cache->spikes.slab(t).data());
+      cache->theta[t] = theta_t;
+    }
+    if (stats != nullptr) {
+      const std::size_t in_events = kernels::count_nonzero(x.slab(t).data(), B * n_in_);
+      stats->synops += static_cast<std::uint64_t>(in_events) * n_out_;
+      if (lif_.recurrent && t > 0) {
+        const std::size_t rec_events = kernels::count_nonzero(sp_prev, bn);
+        stats->synops += static_cast<std::uint64_t>(rec_events) * n_out_;
+      }
+      stats->neuron_updates += bn;
+      stats->spikes += spike_count;
+      stats->timestep_slots += B;
+    }
+
+    std::copy(sp_out, sp_out + bn, prev_s.raw());
+    theta_prev = theta_t;
+  }
+  return out;
+}
+
+void RecurrentLifLayer::backward(const Tensor& x, const LayerCache& cache, const Tensor& d_out,
+                                 Tensor* d_in, SpikeOpStats* stats) {
+  R4NCL_CHECK(x.rank() == 3 && d_out.rank() == 3, "x and d_out must be 3-D");
+  const std::size_t T = x.dim(0), B = x.dim(1);
+  R4NCL_CHECK(d_out.dim(0) == T && d_out.dim(1) == B && d_out.dim(2) == n_out_,
+              "d_out shape mismatch");
+  R4NCL_CHECK(cache.membrane.dim(0) == T, "cache does not match this pass");
+  if (d_in != nullptr) {
+    R4NCL_CHECK(d_in->same_shape(x), "d_in shape mismatch");
+  }
+
+  const std::size_t bn = B * n_out_;
+  Tensor d_v(B, n_out_);       // ∂L/∂V(t+1), carried across iterations
+  Tensor d_s_rec(B, n_out_);   // recurrent + reset contribution to ∂L/∂S(t)
+  Tensor d_s_total(B, n_out_); // scratch
+  std::uint64_t bwd_ops = 0;
+
+  for (std::size_t ti = T; ti-- > 0;) {
+    // ∂L/∂S(t) = upstream + contributions propagated from step t+1.
+    const float* up = d_out.slab(ti).data();
+    const float* rec = d_s_rec.raw();
+    float* ds = d_s_total.raw();
+    for (std::size_t i = 0; i < bn; ++i) ds[i] = up[i] + rec[i];
+
+    // ∂L/∂V(t) = ∂L/∂S(t)·Θ′(u) + β·∂L/∂V(t+1)
+    const float* vcache = cache.membrane.slab(ti).data();
+    const float theta_t = cache.theta[ti];
+    float* dv = d_v.raw();
+    for (std::size_t i = 0; i < bn; ++i) {
+      const float u = vcache[i] - theta_t;
+      dv[i] = ds[i] * surrogate_grad(u, surrogate_) + lif_.beta * dv[i];
+    }
+
+    // Weight gradients: dW_ff += X(t)ᵀ·dV(t); dW_rec += S(t−1)ᵀ·dV(t).
+    kernels::matmul_at_b_accum(x.slab(ti).data(), B, n_in_, dv, n_out_, d_w_ff_.raw());
+    bwd_ops += static_cast<std::uint64_t>(B) * n_in_ * n_out_;
+    if (lif_.recurrent && ti > 0) {
+      kernels::matmul_at_b_accum(cache.spikes.slab(ti - 1).data(), B, n_out_, dv, n_out_,
+                                 d_w_rec_.raw());
+      bwd_ops += static_cast<std::uint64_t>(B) * n_out_ * n_out_;
+    }
+
+    // Input gradient: dX(t) = dV(t)·W_ffᵀ.
+    if (d_in != nullptr) {
+      kernels::matmul_a_bt(dv, B, n_out_, w_ff_.raw(), n_in_, d_in->slab(ti).data(), false);
+      bwd_ops += static_cast<std::uint64_t>(B) * n_in_ * n_out_;
+    }
+
+    // Contribution to ∂L/∂S(t−1): through W_rec and (optionally) the reset.
+    if (ti > 0) {
+      if (lif_.recurrent) {
+        kernels::matmul_a_bt(dv, B, n_out_, w_rec_.raw(), n_out_, d_s_rec.raw(), false);
+        bwd_ops += static_cast<std::uint64_t>(B) * n_out_ * n_out_;
+      } else {
+        d_s_rec.zero();
+      }
+      if (!lif_.detach_reset) {
+        // V(t) contains −θ(t−1)·S(t−1).
+        const float theta_prev = cache.theta[ti - 1];
+        float* dsr = d_s_rec.raw();
+        for (std::size_t i = 0; i < bn; ++i) dsr[i] -= theta_prev * dv[i];
+      }
+    }
+  }
+  if (stats != nullptr) stats->backward_synops += bwd_ops;
+}
+
+void RecurrentLifLayer::zero_grad() {
+  d_w_ff_.zero();
+  if (lif_.recurrent) d_w_rec_.zero();
+}
+
+void RecurrentLifLayer::save(BinaryWriter& out) const {
+  out.write_tag(kLayerTag);
+  out.write_u64(n_in_);
+  out.write_u64(n_out_);
+  out.write_f32(lif_.beta);
+  out.write_u32(lif_.detach_reset ? 1 : 0);
+  out.write_u32(lif_.recurrent ? 1 : 0);
+  out.write_u32(static_cast<std::uint32_t>(surrogate_.kind));
+  out.write_f32(surrogate_.scale);
+  out.write_f32_vector({w_ff_.values().begin(), w_ff_.values().end()});
+  out.write_f32_vector({w_rec_.values().begin(), w_rec_.values().end()});
+}
+
+void RecurrentLifLayer::load(BinaryReader& in) {
+  in.expect_tag(kLayerTag);
+  const std::size_t n_in = in.read_u64();
+  const std::size_t n_out = in.read_u64();
+  R4NCL_CHECK(n_in == n_in_ && n_out == n_out_,
+              "checkpoint layer is " << n_in << "x" << n_out << ", expected " << n_in_ << "x"
+                                     << n_out_);
+  lif_.beta = in.read_f32();
+  lif_.detach_reset = in.read_u32() != 0;
+  const bool recurrent = in.read_u32() != 0;
+  R4NCL_CHECK(recurrent == lif_.recurrent, "checkpoint recurrence mismatch");
+  surrogate_.kind = static_cast<SurrogateKind>(in.read_u32());
+  surrogate_.scale = in.read_f32();
+  const auto ff = in.read_f32_vector();
+  R4NCL_CHECK(ff.size() == w_ff_.size(), "w_ff size mismatch");
+  std::copy(ff.begin(), ff.end(), w_ff_.values().begin());
+  const auto rec = in.read_f32_vector();
+  R4NCL_CHECK(rec.size() == w_rec_.size(), "w_rec size mismatch");
+  std::copy(rec.begin(), rec.end(), w_rec_.values().begin());
+}
+
+}  // namespace r4ncl::snn

@@ -1,0 +1,136 @@
+#include "snn/network.hpp"
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace r4ncl::snn {
+
+namespace {
+constexpr std::uint32_t kNetTag = make_tag("SNET");
+
+LeakyReadout make_readout(const NetworkConfig& config, Rng& rng) {
+  R4NCL_CHECK(config.layer_sizes.size() >= 2,
+              "need an input width and at least one hidden layer");
+  return LeakyReadout(config.layer_sizes.back(), config.num_classes, config.readout_beta, rng,
+                      config.init_gain);
+}
+}  // namespace
+
+SnnNetwork::SnnNetwork(const NetworkConfig& config)
+    : config_(config), readout_([&] {
+        Rng tmp(config.seed + 1);
+        return make_readout(config, tmp);
+      }()) {
+  Rng rng(config_.seed);
+  hidden_.reserve(config_.layer_sizes.size() - 1);
+  for (std::size_t i = 0; i + 1 < config_.layer_sizes.size(); ++i) {
+    Rng layer_rng = rng.fork();
+    hidden_.emplace_back(config_.layer_sizes[i], config_.layer_sizes[i + 1], config_.lif,
+                         config_.surrogate, layer_rng, config_.init_gain,
+                         config_.rec_init_gain);
+  }
+}
+
+std::size_t SnnNetwork::insertion_width(std::size_t insertion_layer) const {
+  R4NCL_CHECK(insertion_layer <= num_hidden(),
+              "insertion layer " << insertion_layer << " > " << num_hidden());
+  return config_.layer_sizes.at(insertion_layer);
+}
+
+Tensor SnnNetwork::run_hidden(const Tensor& x, std::size_t from, std::size_t to,
+                              const ThresholdPolicy& policy, SpikeOpStats* stats) const {
+  R4NCL_CHECK(from <= to && to <= num_hidden(), "bad layer range [" << from << ", " << to << ")");
+  if (from == to) return x;
+  Tensor cur = hidden_[from].forward(x, SpikeMode::kHard, policy, nullptr, stats);
+  for (std::size_t i = from + 1; i < to; ++i) {
+    cur = hidden_[i].forward(cur, SpikeMode::kHard, policy, nullptr, stats);
+  }
+  return cur;
+}
+
+Tensor SnnNetwork::forward_logits(const Tensor& x, std::size_t from,
+                                  const ThresholdPolicy& policy, SpikeOpStats* stats) const {
+  const Tensor readout_in = run_hidden(x, from, num_hidden(), policy, stats);
+  return readout_.forward(readout_in, stats);
+}
+
+StepResult SnnNetwork::train_step(const Tensor& x, std::span<const std::int32_t> labels,
+                                  std::size_t from, const ThresholdPolicy& policy,
+                                  AdamOptimizer& optimizer, float lr, SpikeMode mode,
+                                  SpikeOpStats* stats) {
+  R4NCL_CHECK(from <= num_hidden(), "insertion layer out of range");
+  const std::size_t trained = num_hidden() - from;
+  const std::size_t B = x.dim(1);
+  R4NCL_CHECK(labels.size() == B, "labels/batch mismatch");
+
+  // Forward through the learning layers, caching for BPTT.  activations[k]
+  // is the input of hidden layer from+k; activations[trained] feeds the
+  // readout.
+  std::vector<Tensor> activations;
+  activations.reserve(trained + 1);
+  std::vector<LayerCache> caches(trained);
+  activations.push_back(x.rank() == 3 ? Tensor(x) : Tensor());
+  R4NCL_CHECK(x.rank() == 3, "input must be (T × B × C)");
+  for (std::size_t k = 0; k < trained; ++k) {
+    activations.push_back(
+        hidden_[from + k].forward(activations[k], mode, policy, &caches[k], stats));
+  }
+  Tensor logits = readout_.forward(activations[trained], stats);
+
+  // Loss and logits gradient.
+  Tensor d_logits(logits.rows(), logits.cols());
+  StepResult result;
+  result.loss = softmax_cross_entropy(logits, labels, &d_logits);
+  const auto preds = argmax_rows(logits);
+  for (std::size_t i = 0; i < B; ++i) {
+    if (preds[i] == labels[i]) ++result.correct;
+  }
+
+  // Backward: readout, then the hidden learning layers in reverse.
+  readout_.zero_grad();
+  for (std::size_t k = 0; k < trained; ++k) hidden_[from + k].zero_grad();
+
+  Tensor d_act(activations[trained].dim(0), activations[trained].dim(1),
+               activations[trained].dim(2));
+  readout_.backward(activations[trained], d_logits, trained > 0 ? &d_act : nullptr, stats);
+  for (std::size_t k = trained; k-- > 0;) {
+    RecurrentLifLayer& layer = hidden_[from + k];
+    if (k > 0) {
+      Tensor d_prev(activations[k].dim(0), activations[k].dim(1), activations[k].dim(2));
+      layer.backward(activations[k], caches[k], d_act, &d_prev, stats);
+      d_act = std::move(d_prev);
+    } else {
+      layer.backward(activations[k], caches[k], d_act, nullptr, stats);
+    }
+  }
+
+  // Parameter updates.
+  optimizer.step(readout_.w(), readout_.grad_w(), lr);
+  for (std::size_t k = 0; k < trained; ++k) {
+    RecurrentLifLayer& layer = hidden_[from + k];
+    optimizer.step(layer.w_ff(), layer.grad_w_ff(), lr);
+    if (layer.lif().recurrent) optimizer.step(layer.w_rec(), layer.grad_w_rec(), lr);
+  }
+  return result;
+}
+
+void SnnNetwork::save(const std::string& path) const {
+  BinaryWriter out(path);
+  out.write_tag(kNetTag);
+  out.write_u64(hidden_.size());
+  for (const auto& layer : hidden_) layer.save(out);
+  readout_.save(out);
+  out.close();
+}
+
+void SnnNetwork::load(const std::string& path) {
+  BinaryReader in(path);
+  in.expect_tag(kNetTag);
+  const std::size_t n = in.read_u64();
+  R4NCL_CHECK(n == hidden_.size(), "checkpoint has " << n << " hidden layers, expected "
+                                                     << hidden_.size());
+  for (auto& layer : hidden_) layer.load(in);
+  readout_.load(in);
+}
+
+}  // namespace r4ncl::snn

@@ -1,0 +1,58 @@
+#include "snn/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace r4ncl::snn {
+
+void AdamOptimizer::step(Tensor& param, const Tensor& grad, float lr) {
+  R4NCL_CHECK(param.same_shape(grad), "param/grad shape mismatch");
+  if (param.empty()) return;
+  State& st = states_[param.raw()];
+  if (st.m.empty()) {
+    st.m = Tensor(param.rows(), param.cols());
+    st.v = Tensor(param.rows(), param.cols());
+  }
+  ++st.t;
+  const float b1 = params_.beta1, b2 = params_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(st.t));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(st.t));
+  float* p = param.raw();
+  const float* g = grad.raw();
+  float* m = st.m.raw();
+  float* v = st.v.raw();
+  const float clip = params_.grad_clip;
+  const std::size_t n = param.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    float gi = g[i];
+    if (clip > 0.0f) gi = std::clamp(gi, -clip, clip);
+    m[i] = b1 * m[i] + (1.0f - b1) * gi;
+    v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+    const float mhat = m[i] / bias1;
+    const float vhat = v[i] / bias2;
+    p[i] -= lr * mhat / (std::sqrt(vhat) + params_.epsilon);
+  }
+}
+
+void SgdOptimizer::step(Tensor& param, const Tensor& grad, float lr) {
+  R4NCL_CHECK(param.same_shape(grad), "param/grad shape mismatch");
+  if (param.empty()) return;
+  float* p = param.raw();
+  const float* g = grad.raw();
+  const std::size_t n = param.size();
+  if (momentum_ == 0.0f) {
+    for (std::size_t i = 0; i < n; ++i) p[i] -= lr * g[i];
+    return;
+  }
+  Tensor& vel = velocity_[param.raw()];
+  if (vel.empty()) vel = Tensor(param.rows(), param.cols());
+  float* v = vel.raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = momentum_ * v[i] + g[i];
+    p[i] -= lr * v[i];
+  }
+}
+
+}  // namespace r4ncl::snn

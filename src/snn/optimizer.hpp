@@ -1,0 +1,62 @@
+// First-order optimizers for the SNN parameters.
+//
+// The Adam state is keyed by the parameter tensor's storage address — valid
+// because layer parameter tensors are allocated once at construction and
+// never resized.  The learning rate is passed per step() so the continual-
+// learning phase can use η_cl = η_pre / 100 (paper Sec. III-B) without
+// rebuilding optimizer state.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "tensor/tensor.hpp"
+
+namespace r4ncl::snn {
+
+/// Adam hyper-parameters (defaults follow Kingma & Ba).
+struct AdamParams {
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  /// Gradients are clipped elementwise to ±clip before the update (0 = off).
+  float grad_clip = 5.0f;
+};
+
+/// Adam with per-tensor first/second-moment state.
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(const AdamParams& params = {}) : params_(params) {}
+
+  /// Applies one Adam update to `param` given `grad`.
+  void step(Tensor& param, const Tensor& grad, float lr);
+
+  /// Drops all moment state (used when switching training phases).
+  void reset() { states_.clear(); }
+
+  [[nodiscard]] const AdamParams& params() const noexcept { return params_; }
+
+ private:
+  struct State {
+    Tensor m;
+    Tensor v;
+    std::int64_t t = 0;
+  };
+  AdamParams params_;
+  std::unordered_map<const float*, State> states_;
+};
+
+/// Plain SGD (used by tests and the ablation bench as a control).
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(float momentum = 0.0f) : momentum_(momentum) {}
+
+  void step(Tensor& param, const Tensor& grad, float lr);
+  void reset() { velocity_.clear(); }
+
+ private:
+  float momentum_;
+  std::unordered_map<const float*, Tensor> velocity_;
+};
+
+}  // namespace r4ncl::snn

@@ -1,0 +1,32 @@
+#include "snn/surrogate.hpp"
+
+#include <cmath>
+
+namespace r4ncl::snn {
+
+float hard_spike(float u) noexcept { return u > 0.0f ? 1.0f : 0.0f; }
+
+float surrogate_grad(float u, const SurrogateParams& p) noexcept {
+  switch (p.kind) {
+    case SurrogateKind::kFastSigmoid: {
+      const float d = p.scale * std::fabs(u) + 1.0f;
+      return 1.0f / (d * d);
+    }
+    case SurrogateKind::kAtan: {
+      const float su = p.scale * u;
+      return 1.0f / (1.0f + su * su);
+    }
+    case SurrogateKind::kBoxcar:
+      return std::fabs(u) < 1.0f / p.scale ? 1.0f : 0.0f;
+  }
+  return 0.0f;
+}
+
+float soft_spike(float u, const SurrogateParams& p) noexcept {
+  // d/du [u / (1 + s|u|)] = 1 / (1 + s|u|)^2, i.e. exactly the fast-sigmoid
+  // surrogate; the 0.5 offset keeps the "spike" in a sensible (0,1)-ish range.
+  const float s = p.scale;
+  return 0.5f + u / (1.0f + s * std::fabs(u));
+}
+
+}  // namespace r4ncl::snn

@@ -1,0 +1,40 @@
+// Surrogate gradients for the non-differentiable spike activation.
+//
+// Forward pass (paper Fig. 5a): S(t) = 1 if u > 0 else 0, with u = V − Vthr.
+// Backward pass (paper Fig. 5b): fast-sigmoid surrogate
+//     ∂S/∂u ≈ 1 / (scale·|u| + 1)²
+// Atan and boxcar variants are provided for the ablation bench.
+//
+// A continuous "soft spike" forward mode is also provided whose analytic
+// derivative equals the surrogate exactly; the BPTT implementation is
+// validated against finite differences in that mode (tests/test_bptt.cpp).
+#pragma once
+
+namespace r4ncl::snn {
+
+/// Supported surrogate-gradient families.
+enum class SurrogateKind {
+  kFastSigmoid,  // 1/(scale|u|+1)^2 — the paper's choice
+  kAtan,         // 1/(1+(scale·u)^2) · (1/π scaling folded into `scale`)
+  kBoxcar,       // 1 inside |u| < 1/scale, else 0
+};
+
+/// Surrogate parameters. `scale` controls the sharpness around u = 0;
+/// the paper's Fig. 5 corresponds to fast-sigmoid with scale = 10.
+struct SurrogateParams {
+  SurrogateKind kind = SurrogateKind::kFastSigmoid;
+  float scale = 10.0f;
+};
+
+/// Hard spike: Θ(u).
+float hard_spike(float u) noexcept;
+
+/// Surrogate derivative ∂S/∂u evaluated at u.
+float surrogate_grad(float u, const SurrogateParams& p) noexcept;
+
+/// Continuous spike function h(u) with h'(u) == surrogate_grad(u) for the
+/// fast-sigmoid family: h(u) = 0.5 + u / (1 + scale·|u|).  Only defined for
+/// kFastSigmoid (the gradcheck mode); other kinds fall back to fast-sigmoid.
+float soft_spike(float u, const SurrogateParams& p) noexcept;
+
+}  // namespace r4ncl::snn

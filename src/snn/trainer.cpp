@@ -1,0 +1,79 @@
+#include "snn/trainer.hpp"
+
+#include <algorithm>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace r4ncl::snn {
+
+std::vector<EpochRecord> train_supervised(SnnNetwork& net, const data::Dataset& dataset,
+                                          AdamOptimizer& optimizer, const TrainOptions& options,
+                                          const EpochHook& hook) {
+  R4NCL_CHECK(!dataset.empty(), "cannot train on an empty dataset");
+  R4NCL_CHECK(options.batch_size > 0, "batch_size must be positive");
+  Rng shuffle_rng(options.shuffle_seed);
+  std::vector<EpochRecord> history;
+  history.reserve(options.epochs);
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    Stopwatch watch;
+    EpochRecord rec;
+    rec.epoch = epoch;
+    auto order = shuffle_rng.permutation(dataset.size());
+    std::size_t correct = 0;
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t lo = 0; lo < order.size(); lo += options.batch_size) {
+      const std::size_t hi = std::min(order.size(), lo + options.batch_size);
+      const std::span<const std::size_t> idx(order.data() + lo, hi - lo);
+      const Tensor batch = data::make_batch(dataset, idx);
+      const auto labels = data::batch_labels(dataset, idx);
+      const StepResult step =
+          net.train_step(batch, labels, options.insertion_layer, options.policy, optimizer,
+                         options.lr, options.mode, &rec.stats);
+      loss_sum += step.loss;
+      correct += step.correct;
+      ++batches;
+    }
+    rec.loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+    rec.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(dataset.size());
+    rec.wall_seconds = watch.elapsed_seconds();
+    if (options.verbose) {
+      R4NCL_INFO("epoch " << epoch << ": loss=" << rec.loss
+                          << " train_acc=" << rec.train_accuracy << " ("
+                          << rec.wall_seconds << "s)");
+    }
+    if (hook) hook(rec);
+    history.push_back(std::move(rec));
+  }
+  return history;
+}
+
+double evaluate(const SnnNetwork& net, const data::Dataset& dataset,
+                std::size_t insertion_layer, const ThresholdPolicy& policy,
+                std::size_t batch_size, SpikeOpStats* stats) {
+  if (dataset.empty()) return 0.0;
+  R4NCL_CHECK(batch_size > 0, "batch_size must be positive");
+  std::size_t correct = 0;
+  std::vector<std::size_t> indices(dataset.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  for (std::size_t lo = 0; lo < indices.size(); lo += batch_size) {
+    const std::size_t hi = std::min(indices.size(), lo + batch_size);
+    const std::span<const std::size_t> idx(indices.data() + lo, hi - lo);
+    const Tensor batch = data::make_batch(dataset, idx);
+    const auto labels = data::batch_labels(dataset, idx);
+    const Tensor logits = net.forward_logits(batch, insertion_layer, policy, stats);
+    const auto preds = argmax_rows(logits);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == labels[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace r4ncl::snn

@@ -1,0 +1,56 @@
+// Supervised training / evaluation loops over spike datasets.
+//
+// train_supervised drives the pre-training phase (Alg. 1 lines 1–5) and is
+// reused by the continual-learning trainers in src/core; evaluate() computes
+// Top-1 accuracy from any insertion point, so latent datasets can be scored
+// with the same code path as raw input data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/spike_data.hpp"
+#include "snn/network.hpp"
+
+namespace r4ncl::snn {
+
+/// Options for a supervised training run.
+struct TrainOptions {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 16;
+  float lr = 1e-3f;
+  /// Hidden-layer index the inputs are injected at (0 = raw input).
+  std::size_t insertion_layer = 0;
+  ThresholdPolicy policy = ThresholdPolicy::fixed(1.0f);
+  SpikeMode mode = SpikeMode::kHard;
+  std::uint64_t shuffle_seed = 99;
+  bool verbose = false;
+};
+
+/// Per-epoch record of a training run.
+struct EpochRecord {
+  std::size_t epoch = 0;
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+  double wall_seconds = 0.0;
+  SpikeOpStats stats;  // forward+backward work of this epoch
+};
+
+/// Per-epoch hook: called after each epoch (e.g. to evaluate held-out sets).
+using EpochHook = std::function<void(const EpochRecord&)>;
+
+/// Trains `net` on `dataset` (spike cubes at `insertion_layer`).  Returns the
+/// per-epoch history.  The caller owns the optimizer so moment state can
+/// persist across phases when desired.
+std::vector<EpochRecord> train_supervised(SnnNetwork& net, const data::Dataset& dataset,
+                                          AdamOptimizer& optimizer, const TrainOptions& options,
+                                          const EpochHook& hook = nullptr);
+
+/// Top-1 accuracy of `net` on `dataset` fed at `insertion_layer`.
+double evaluate(const SnnNetwork& net, const data::Dataset& dataset,
+                std::size_t insertion_layer = 0,
+                const ThresholdPolicy& policy = ThresholdPolicy::fixed(1.0f),
+                std::size_t batch_size = 32, SpikeOpStats* stats = nullptr);
+
+}  // namespace r4ncl::snn

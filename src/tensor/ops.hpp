@@ -1,0 +1,78 @@
+// Dense kernels for the SNN forward/backward passes.
+//
+// Conventions: activations are (batch × features) matrices; weight matrices
+// are (in_features × out_features) so the forward pass is Y = X · W.  The two
+// transpose variants cover the BPTT gradient terms:
+//   dW += Xᵀ · dY   (matmul_at_b_accum)
+//   dX  = dY · Wᵀ   (matmul_a_bt)
+// Kernels parallelise over output rows via parallel_for.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace r4ncl {
+
+namespace kernels {
+
+// Raw row-major kernels — the Tensor overloads below wrap these, and the SNN
+// layer calls them directly on (batch × features) slabs of 3-D spike cubes.
+
+/// c[m×n] = a[m×k] · b[k×n]; accumulates when `accumulate`.
+void matmul(const float* a, std::size_t m, std::size_t k, const float* b, std::size_t n,
+            float* c, bool accumulate);
+
+/// c[k×n] += aᵀ[k×m] · b[m×n] (a given as m×k).
+void matmul_at_b_accum(const float* a, std::size_t m, std::size_t k, const float* b,
+                       std::size_t n, float* c);
+
+/// c[m×k] = a[m×n] · bᵀ[n×k] (b given as k×n); accumulates when `accumulate`.
+void matmul_a_bt(const float* a, std::size_t m, std::size_t n, const float* b, std::size_t k,
+                 float* c, bool accumulate);
+
+/// Number of non-zero entries in a float span (spike events).
+std::size_t count_nonzero(const float* v, std::size_t n) noexcept;
+
+}  // namespace kernels
+
+/// C = A·B (A: m×k, B: k×n, C: m×n).  When accumulate is true, C += A·B.
+void matmul(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+
+/// C += Aᵀ·B (A: m×k, B: m×n, C: k×n).  Always accumulates — this is the
+/// weight-gradient kernel, summed over timesteps.
+void matmul_at_b_accum(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A·Bᵀ (A: m×n, B: k×n, C: m×k).  When accumulate is true, C += A·Bᵀ.
+void matmul_a_bt(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
+
+/// y += alpha * x (elementwise over equally-shaped tensors).
+void axpy(float alpha, const Tensor& x, Tensor& y);
+
+/// Elementwise y = a ⊙ b.
+void hadamard(const Tensor& a, const Tensor& b, Tensor& y);
+
+/// Sum of all elements.
+double sum(const Tensor& t) noexcept;
+
+/// Mean of all elements (0 for empty tensors).
+double mean(const Tensor& t) noexcept;
+
+/// Maximum absolute element (0 for empty tensors).
+float max_abs(const Tensor& t) noexcept;
+
+/// Clips every element into [-bound, bound]; used for gradient clipping.
+void clip_inplace(Tensor& t, float bound) noexcept;
+
+/// Row-wise softmax + cross-entropy against integer labels.
+/// logits: (batch × classes); labels: one per row.
+/// Returns mean loss; when grad is non-null, writes d(mean loss)/d(logits).
+double softmax_cross_entropy(const Tensor& logits, std::span<const std::int32_t> labels,
+                             Tensor* grad);
+
+/// Row-wise argmax of a (batch × classes) tensor.
+std::vector<std::int32_t> argmax_rows(const Tensor& t);
+
+}  // namespace r4ncl

@@ -1,0 +1,74 @@
+#include "util/config.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace r4ncl {
+
+Config Config::from_args(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    const std::size_t eq = tok.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+    } else {
+      cfg.positionals_.push_back(tok);
+    }
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  if (auto it = values_.find(key); it != values_.end()) return it->second;
+  if (const char* env = std::getenv(env_key_for(key).c_str())) return std::string(env);
+  return std::nullopt;
+}
+
+std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+long long Config::get_int(const std::string& key, long long fallback) const {
+  if (auto v = get(key)) {
+    try {
+      return std::stoll(*v);
+    } catch (...) {
+      return fallback;
+    }
+  }
+  return fallback;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  if (auto v = get(key)) {
+    try {
+      return std::stod(*v);
+    } catch (...) {
+      return fallback;
+    }
+  }
+  return fallback;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  if (auto v = get(key)) {
+    if (*v == "1" || *v == "true" || *v == "yes" || *v == "on") return true;
+    if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
+  }
+  return fallback;
+}
+
+std::string env_key_for(const std::string& key) {
+  std::string out = "R4NCL_";
+  for (char c : key) {
+    out.push_back(c == '-' || c == '.'
+                      ? '_'
+                      : static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace r4ncl

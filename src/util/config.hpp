@@ -1,0 +1,45 @@
+// Lightweight experiment configuration: key=value overrides from the
+// environment (R4NCL_<KEY>) or from "key=value" command-line tokens.
+//
+// Benches and examples use this to stay runnable on small machines
+// (R4NCL_SCALE, R4NCL_EPOCHS, ...) while keeping paper-faithful defaults in
+// code rather than in external files.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace r4ncl {
+
+/// String-keyed option bag with typed getters.  Lookup order:
+/// explicit set() / parsed CLI > environment (R4NCL_<UPPERCASED KEY>) > fallback.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" tokens; other tokens are collected as positionals.
+  static Config from_args(int argc, char** argv);
+
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_string(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key, long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+/// "epochs" → "R4NCL_EPOCHS".
+std::string env_key_for(const std::string& key);
+
+}  // namespace r4ncl

@@ -1,0 +1,104 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace r4ncl {
+
+ResultTable::ResultTable(std::vector<std::string> header) : header_(std::move(header)) {
+  R4NCL_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void ResultTable::add_row() { rows_.emplace_back(); }
+
+void ResultTable::push(const std::string& value) {
+  R4NCL_CHECK(!rows_.empty(), "call add_row() before push()");
+  R4NCL_CHECK(rows_.back().size() < header_.size(),
+              "row already has " << header_.size() << " cells");
+  rows_.back().push_back(value);
+}
+
+void ResultTable::push(double value) { push(format_double(value)); }
+
+void ResultTable::push(long long value) { push(std::to_string(value)); }
+
+void ResultTable::row(std::initializer_list<std::string> cells) {
+  R4NCL_CHECK(cells.size() == header_.size(),
+              "row width " << cells.size() << " != header width " << header_.size());
+  add_row();
+  for (const auto& c : cells) push(c);
+}
+
+namespace {
+// RFC-4180-style quoting: wrap when the cell contains a comma, quote, or
+// newline; embedded quotes are doubled.
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void ResultTable::write_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  R4NCL_CHECK(out.good(), "cannot open for writing: " << path);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) out << ',';
+    out << csv_escape(header_[i]);
+  }
+  out << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i) out << ',';
+      out << csv_escape(r[i]);
+    }
+    out << '\n';
+  }
+  out.flush();
+  R4NCL_CHECK(out.good(), "write failed: " << path);
+}
+
+void ResultTable::print(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) width[i] = std::max(width[i], r[i].size());
+  }
+  if (!title.empty()) std::printf("\n== %s ==\n", title.c_str());
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      std::printf(" %-*s |", static_cast<int>(width[i]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  std::printf("|");
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    for (std::size_t k = 0; k < width[i] + 2; ++k) std::printf("-");
+    std::printf("|");
+  }
+  std::printf("\n");
+  for (const auto& r : rows_) print_row(r);
+  std::fflush(stdout);
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+}  // namespace r4ncl

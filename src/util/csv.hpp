@@ -1,0 +1,50 @@
+// CSV emission + console tables for the benchmark harness.
+//
+// Every bench prints the paper-style rows to stdout and mirrors them into a
+// CSV file so the figures can be re-plotted without re-running experiments.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace r4ncl {
+
+/// Column-oriented result table.  Cells are stored as strings; numeric
+/// convenience setters format with enough digits to round-trip.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent set()/push() calls fill it.
+  void add_row();
+
+  /// Appends a cell to the current row (in header order).
+  void push(const std::string& value);
+  void push(double value);
+  void push(long long value);
+
+  /// Full-row convenience: table.row({"a", "b", "c"}).
+  void row(std::initializer_list<std::string> cells);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept { return header_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+  /// Writes the table as CSV; throws r4ncl::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  /// Pretty-prints an aligned ASCII table to stdout.
+  void print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for bench output).
+std::string format_double(double v, int precision = 4);
+
+}  // namespace r4ncl

@@ -1,0 +1,46 @@
+// Error-handling helpers shared across the replay4ncl libraries.
+//
+// The library reports precondition violations and invariant breaks by throwing
+// r4ncl::Error (derived from std::runtime_error).  The R4NCL_CHECK macro keeps
+// call sites terse while still producing messages that carry the failing
+// expression and source location.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace r4ncl {
+
+/// Exception type thrown by all replay4ncl components on contract violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const std::string& msg,
+                                             const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": check failed: (" << expr << ')';
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace r4ncl
+
+/// Throws r4ncl::Error when `expr` is false.  `...` is streamed into the
+/// message, e.g. R4NCL_CHECK(rows > 0, "rows=" << rows).
+#define R4NCL_CHECK(expr, ...)                                                      \
+  do {                                                                              \
+    if (!(expr)) {                                                                  \
+      std::ostringstream r4ncl_check_os_;                                           \
+      __VA_OPT__(r4ncl_check_os_ << __VA_ARGS__;)                                   \
+      ::r4ncl::detail::throw_check_failure(#expr, r4ncl_check_os_.str(),            \
+                                           std::source_location::current());        \
+    }                                                                               \
+  } while (false)

@@ -1,0 +1,59 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace r4ncl {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+LogLevel parse_log_level(const std::string& s) noexcept {
+  std::string lower;
+  lower.reserve(s.size());
+  for (char c : s) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void init_log_level_from_env() {
+  if (const char* env = std::getenv("R4NCL_LOG")) set_log_level(parse_log_level(env));
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%8.3fs %s] %s\n", elapsed, level_name(level), message.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace r4ncl

@@ -1,0 +1,44 @@
+// Minimal leveled logger used by trainers and benches.
+//
+// The library itself stays quiet at Info level except for experiment progress;
+// set R4NCL_LOG=debug|info|warn|error (env var) or call set_log_level() to
+// adjust verbosity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace r4ncl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive); unknown
+/// strings map to kInfo.
+LogLevel parse_log_level(const std::string& s) noexcept;
+
+/// Reads the R4NCL_LOG environment variable once and applies it.
+void init_log_level_from_env();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace r4ncl
+
+#define R4NCL_LOG_AT(level, ...)                                        \
+  do {                                                                  \
+    if (static_cast<int>(level) >= static_cast<int>(::r4ncl::log_level())) { \
+      std::ostringstream r4ncl_log_os_;                                 \
+      r4ncl_log_os_ << __VA_ARGS__;                                     \
+      ::r4ncl::detail::log_emit(level, r4ncl_log_os_.str());            \
+    }                                                                   \
+  } while (false)
+
+#define R4NCL_DEBUG(...) R4NCL_LOG_AT(::r4ncl::LogLevel::kDebug, __VA_ARGS__)
+#define R4NCL_INFO(...) R4NCL_LOG_AT(::r4ncl::LogLevel::kInfo, __VA_ARGS__)
+#define R4NCL_WARN(...) R4NCL_LOG_AT(::r4ncl::LogLevel::kWarn, __VA_ARGS__)
+#define R4NCL_ERROR(...) R4NCL_LOG_AT(::r4ncl::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,73 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#if defined(R4NCL_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace r4ncl {
+
+namespace {
+std::atomic<int> g_threads{0};  // 0 = uninitialised → hardware_concurrency
+
+int default_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+}  // namespace
+
+void set_num_threads(int n) noexcept { g_threads.store(n < 1 ? 1 : n); }
+
+int num_threads() noexcept {
+  int n = g_threads.load();
+  if (n == 0) {
+    n = default_threads();
+    g_threads.store(n);
+  }
+  return n;
+}
+
+void init_threads_from_env() {
+  if (const char* env = std::getenv("R4NCL_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) set_num_threads(n);
+  }
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body, std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const int workers = num_threads();
+  if (workers <= 1 || count * grain < 2048) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+#if defined(R4NCL_HAVE_OPENMP)
+#pragma omp parallel for num_threads(workers) schedule(static)
+  for (long long i = static_cast<long long>(begin); i < static_cast<long long>(end); ++i) {
+    body(static_cast<std::size_t>(i));
+  }
+#else
+  // Portable fallback: block partitioning over std::thread.
+  const std::size_t chunk = (count + static_cast<std::size_t>(workers) - 1) /
+                            static_cast<std::size_t>(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + chunk * static_cast<std::size_t>(w);
+    if (lo >= end) break;
+    const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+    pool.emplace_back([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+  for (auto& t : pool) t.join();
+#endif
+}
+
+}  // namespace r4ncl

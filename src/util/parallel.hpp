@@ -1,0 +1,28 @@
+// Parallel-for helper used by the tensor kernels.
+//
+// Built on OpenMP when available (R4NCL_HAVE_OPENMP), otherwise a serial
+// fallback.  The thread count is controlled by set_num_threads() or the
+// R4NCL_THREADS environment variable; the default is the hardware concurrency.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace r4ncl {
+
+/// Sets the worker count for subsequent parallel_for calls (clamped to >= 1).
+void set_num_threads(int n) noexcept;
+
+/// Current worker count.
+int num_threads() noexcept;
+
+/// Applies R4NCL_THREADS from the environment if present.
+void init_threads_from_env();
+
+/// Invokes body(i) for i in [begin, end).  Iterations must be independent.
+/// Small ranges (or grain hints) run serially to avoid fork overhead.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace r4ncl

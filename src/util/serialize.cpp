@@ -1,0 +1,121 @@
+#include "util/serialize.hpp"
+
+namespace r4ncl {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  R4NCL_CHECK(out_.good(), "cannot open for writing: " << path);
+}
+
+void BinaryWriter::write_raw(const void* data, std::size_t bytes) {
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  R4NCL_CHECK(out_.good(), "write failed: " << path_);
+}
+
+void BinaryWriter::write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
+void BinaryWriter::write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
+void BinaryWriter::write_i64(std::int64_t v) { write_raw(&v, sizeof v); }
+void BinaryWriter::write_f32(float v) { write_raw(&v, sizeof v); }
+void BinaryWriter::write_f64(double v) { write_raw(&v, sizeof v); }
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  if (!s.empty()) write_raw(s.data(), s.size());
+}
+
+void BinaryWriter::write_f32_vector(const std::vector<float>& v) {
+  write_u64(v.size());
+  if (!v.empty()) write_raw(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::write_u8_vector(const std::vector<std::uint8_t>& v) {
+  write_u64(v.size());
+  if (!v.empty()) write_raw(v.data(), v.size());
+}
+
+void BinaryWriter::write_tag(std::uint32_t tag) { write_u32(tag); }
+
+void BinaryWriter::close() {
+  if (!out_.is_open()) return;
+  out_.flush();
+  R4NCL_CHECK(out_.good(), "flush failed: " << path_);
+  out_.close();
+}
+
+BinaryWriter::~BinaryWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; explicit close() reports errors.
+  }
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  R4NCL_CHECK(in_.good(), "cannot open for reading: " << path);
+}
+
+void BinaryReader::read_raw(void* data, std::size_t bytes) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  R4NCL_CHECK(in_.gcount() == static_cast<std::streamsize>(bytes),
+              "short read from: " << path_);
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v = 0;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v = 0;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::int64_t BinaryReader::read_i64() {
+  std::int64_t v = 0;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+float BinaryReader::read_f32() {
+  float v = 0;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+double BinaryReader::read_f64() {
+  double v = 0;
+  read_raw(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t n = read_u64();
+  std::string s(n, '\0');
+  if (n > 0) read_raw(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_vector() {
+  const std::uint64_t n = read_u64();
+  std::vector<float> v(n);
+  if (n > 0) read_raw(v.data(), n * sizeof(float));
+  return v;
+}
+
+std::vector<std::uint8_t> BinaryReader::read_u8_vector() {
+  const std::uint64_t n = read_u64();
+  std::vector<std::uint8_t> v(n);
+  if (n > 0) read_raw(v.data(), n);
+  return v;
+}
+
+void BinaryReader::expect_tag(std::uint32_t expected) {
+  const std::uint32_t got = read_u32();
+  R4NCL_CHECK(got == expected,
+              "tag mismatch in " << path_ << ": expected " << expected << ", got " << got);
+}
+
+}  // namespace r4ncl

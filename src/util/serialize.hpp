@@ -1,0 +1,83 @@
+// Tagged binary serialization for model checkpoints and latent buffers.
+//
+// Format: little-endian, each field written as <u32 tag><payload>.  Tags make
+// the checkpoint self-describing enough to fail loudly on format drift
+// (instead of silently mis-reading), which matters because benches share a
+// pre-trained model cache across binaries.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace r4ncl {
+
+/// Sequential binary writer.  All write_* members throw r4ncl::Error on I/O
+/// failure so callers never proceed with a truncated checkpoint.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f32_vector(const std::vector<float>& v);
+  void write_u8_vector(const std::vector<std::uint8_t>& v);
+
+  /// Writes a tag marking the start of a named section.
+  void write_tag(std::uint32_t tag);
+
+  /// Flushes and closes; throws on failure.  Also called by the destructor
+  /// (which swallows errors — call close() explicitly for checked shutdown).
+  void close();
+
+  ~BinaryWriter();
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+ private:
+  void write_raw(const void* data, std::size_t bytes);
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Sequential binary reader mirroring BinaryWriter.  Throws r4ncl::Error on
+/// short reads or tag mismatches.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  std::vector<float> read_f32_vector();
+  std::vector<std::uint8_t> read_u8_vector();
+
+  /// Reads a tag and checks it equals `expected`.
+  void expect_tag(std::uint32_t expected);
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+ private:
+  void read_raw(void* data, std::size_t bytes);
+  std::ifstream in_;
+  std::string path_;
+};
+
+/// Builds a four-character tag, e.g. make_tag("WGHT").
+constexpr std::uint32_t make_tag(const char (&s)[5]) {
+  return static_cast<std::uint32_t>(s[0]) | (static_cast<std::uint32_t>(s[1]) << 8) |
+         (static_cast<std::uint32_t>(s[2]) << 16) | (static_cast<std::uint32_t>(s[3]) << 24);
+}
+
+}  // namespace r4ncl

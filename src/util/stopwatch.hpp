@@ -1,0 +1,56 @@
+// Wall-clock stopwatch for measured (as opposed to modelled) latency.
+#pragma once
+
+#include <chrono>
+
+namespace r4ncl {
+
+/// Steady-clock stopwatch.  Construction starts it; elapsed_seconds() may be
+/// polled repeatedly; restart() resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulating timer: sums durations across start()/stop() pairs.  Used by
+/// the latency model to attribute wall-clock to training phases.
+class AccumulatingTimer {
+ public:
+  void start() noexcept {
+    running_ = true;
+    origin_ = clock::now();
+  }
+
+  void stop() noexcept {
+    if (!running_) return;
+    total_ += std::chrono::duration<double>(clock::now() - origin_).count();
+    running_ = false;
+  }
+
+  void reset() noexcept {
+    total_ = 0.0;
+    running_ = false;
+  }
+
+  [[nodiscard]] double total_seconds() const noexcept { return total_; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point origin_{};
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace r4ncl

@@ -1,0 +1,84 @@
+// AER event-stream encoding: round trips, escapes, size crossover.
+#include <gtest/gtest.h>
+
+#include "compress/aer.hpp"
+#include "compress/bitpack.hpp"
+#include "util/rng.hpp"
+
+namespace r4ncl::compress {
+namespace {
+
+data::SpikeRaster random_raster(std::size_t T, std::size_t C, double p, std::uint64_t seed) {
+  data::SpikeRaster r(T, C);
+  Rng rng(seed);
+  for (auto& b : r.bits) b = rng.bernoulli(p) ? 1 : 0;
+  return r;
+}
+
+TEST(Aer, RoundTripRandomDensities) {
+  for (double p : {0.0, 0.01, 0.05, 0.2, 0.7, 1.0}) {
+    const data::SpikeRaster r = random_raster(40, 50, p, static_cast<std::uint64_t>(p * 100));
+    const AerRaster aer = aer_encode(r);
+    EXPECT_EQ(aer_decode(aer), r) << "density " << p;
+    EXPECT_EQ(aer.num_events, r.spike_count());
+  }
+}
+
+TEST(Aer, EmptyRaster) {
+  const data::SpikeRaster r(10, 10);
+  const AerRaster aer = aer_encode(r);
+  EXPECT_EQ(aer.payload_bytes(), 0u);
+  EXPECT_EQ(aer.num_events, 0u);
+  EXPECT_EQ(aer_decode(aer), r);
+}
+
+TEST(Aer, SingleLateSpikeUsesEscape) {
+  // A spike at t=300 forces the >255 delta escape path.
+  data::SpikeRaster r(400, 4);
+  r.set(300, 2, true);
+  const AerRaster aer = aer_encode(r);
+  EXPECT_EQ(aer_decode(aer), r);
+  EXPECT_GT(aer.payload_bytes(), 3u) << "escape must add bytes";
+}
+
+TEST(Aer, DeltaExactly255) {
+  data::SpikeRaster r(300, 2);
+  r.set(0, 0, true);
+  r.set(255, 1, true);
+  EXPECT_EQ(aer_decode(aer_encode(r)), r);
+}
+
+TEST(Aer, MultipleSpikesSameTimestep) {
+  data::SpikeRaster r(5, 8);
+  for (std::size_t c = 0; c < 8; ++c) r.set(2, c, true);
+  const AerRaster aer = aer_encode(r);
+  EXPECT_EQ(aer.num_events, 8u);
+  EXPECT_EQ(aer_decode(aer), r);
+}
+
+TEST(Aer, SparseRastersAreSmallerThanBitmap) {
+  // 1% density on a 700-channel raster: AER must beat the bitmap.
+  const data::SpikeRaster sparse = random_raster(100, 700, 0.01, 3);
+  EXPECT_TRUE(aer_is_smaller(sparse));
+}
+
+TEST(Aer, DenseRastersPreferBitmap) {
+  const data::SpikeRaster dense = random_raster(100, 700, 0.30, 4);
+  EXPECT_FALSE(aer_is_smaller(dense));
+}
+
+TEST(Aer, SizeGrowsWithEvents) {
+  const data::SpikeRaster lo = random_raster(50, 64, 0.02, 5);
+  const data::SpikeRaster hi = random_raster(50, 64, 0.10, 6);
+  EXPECT_LT(aer_bytes(lo), aer_bytes(hi));
+}
+
+TEST(Aer, WideChannelBound) {
+  data::SpikeRaster r(2, 700);
+  r.set(1, 699, true);
+  const data::SpikeRaster back = aer_decode(aer_encode(r));
+  EXPECT_EQ(back.at(1, 699), 1);
+}
+
+}  // namespace
+}  // namespace r4ncl::compress

@@ -1,0 +1,62 @@
+// Bit-packing: round-trip fidelity and byte accounting.
+#include <gtest/gtest.h>
+
+#include "compress/bitpack.hpp"
+#include "util/rng.hpp"
+
+namespace r4ncl::compress {
+namespace {
+
+data::SpikeRaster random_raster(std::size_t T, std::size_t C, double p, std::uint64_t seed) {
+  data::SpikeRaster r(T, C);
+  Rng rng(seed);
+  for (auto& b : r.bits) b = rng.bernoulli(p) ? 1 : 0;
+  return r;
+}
+
+TEST(Bitpack, RoundTripExact) {
+  for (std::size_t C : {1u, 7u, 8u, 9u, 50u, 700u}) {
+    const data::SpikeRaster r = random_raster(13, C, 0.3, C);
+    EXPECT_EQ(unpack(pack(r)), r) << "channels=" << C;
+  }
+}
+
+TEST(Bitpack, EmptyRasterRoundTrip) {
+  const data::SpikeRaster r(5, 10);
+  const data::SpikeRaster out = unpack(pack(r));
+  EXPECT_EQ(out, r);
+  EXPECT_EQ(out.spike_count(), 0u);
+}
+
+TEST(Bitpack, RowBytesArePadded) {
+  // 50 channels → 7 bytes per row (not 6.25).
+  const data::SpikeRaster r = random_raster(4, 50, 0.5, 1);
+  const PackedRaster p = pack(r);
+  EXPECT_EQ(p.row_bytes(), 7u);
+  EXPECT_EQ(p.payload_bytes(), 4u * 7u);
+}
+
+TEST(Bitpack, ExactMultipleOfEightNoPadding) {
+  const data::SpikeRaster r = random_raster(3, 16, 0.5, 2);
+  EXPECT_EQ(pack(r).row_bytes(), 2u);
+}
+
+TEST(Bitpack, PayloadScalesLinearlyWithTimesteps) {
+  const data::SpikeRaster a = random_raster(10, 50, 0.2, 3);
+  const data::SpikeRaster b = random_raster(40, 50, 0.2, 4);
+  EXPECT_EQ(pack(b).payload_bytes(), 4u * pack(a).payload_bytes());
+}
+
+TEST(Bitpack, StoredBytesAddsHeader) {
+  const data::SpikeRaster r = random_raster(4, 8, 0.5, 5);
+  const PackedRaster p = pack(r);
+  EXPECT_EQ(stored_bytes(p, 16), p.payload_bytes() + 16u);
+}
+
+TEST(Bitpack, DensityPreserved) {
+  const data::SpikeRaster r = random_raster(20, 33, 0.4, 6);
+  EXPECT_EQ(unpack(pack(r)).spike_count(), r.spike_count());
+}
+
+}  // namespace
+}  // namespace r4ncl::compress

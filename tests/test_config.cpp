@@ -1,0 +1,77 @@
+// Config parsing: CLI tokens, env fallback, typed getters.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "util/config.hpp"
+
+namespace r4ncl {
+namespace {
+
+Config parse(std::initializer_list<const char*> tokens) {
+  std::vector<char*> argv;
+  static char prog[] = "prog";
+  argv.push_back(prog);
+  std::vector<std::string> storage(tokens.begin(), tokens.end());
+  for (auto& s : storage) argv.push_back(s.data());
+  return Config::from_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Config, ParsesKeyValueTokens) {
+  const Config cfg = parse({"epochs=5", "lr=0.01", "name=test"});
+  EXPECT_EQ(cfg.get_int("epochs", 0), 5);
+  EXPECT_DOUBLE_EQ(cfg.get_double("lr", 0.0), 0.01);
+  EXPECT_EQ(cfg.get_string("name", ""), "test");
+}
+
+TEST(Config, CollectsPositionals) {
+  const Config cfg = parse({"run", "epochs=3", "fast"});
+  ASSERT_EQ(cfg.positionals().size(), 2u);
+  EXPECT_EQ(cfg.positionals()[0], "run");
+  EXPECT_EQ(cfg.positionals()[1], "fast");
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  const Config cfg = parse({});
+  EXPECT_EQ(cfg.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(cfg.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(cfg.get_string("missing", "dflt"), "dflt");
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+}
+
+TEST(Config, BoolParsing) {
+  const Config cfg = parse({"a=1", "b=true", "c=0", "d=off", "e=bogus"});
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_TRUE(cfg.get_bool("b", false));
+  EXPECT_FALSE(cfg.get_bool("c", true));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+  EXPECT_TRUE(cfg.get_bool("e", true)) << "unparseable falls back";
+}
+
+TEST(Config, MalformedNumberFallsBack) {
+  const Config cfg = parse({"epochs=abc"});
+  EXPECT_EQ(cfg.get_int("epochs", 7), 7);
+}
+
+TEST(Config, EnvKeyMapping) {
+  EXPECT_EQ(env_key_for("epochs"), "R4NCL_EPOCHS");
+  EXPECT_EQ(env_key_for("cache-dir"), "R4NCL_CACHE_DIR");
+  EXPECT_EQ(env_key_for("a.b"), "R4NCL_A_B");
+}
+
+TEST(Config, EnvironmentFallback) {
+  ::setenv("R4NCL_TESTKEY_UNIQUE", "123", 1);
+  const Config cfg = parse({});
+  EXPECT_EQ(cfg.get_int("testkey_unique", 0), 123);
+  ::unsetenv("R4NCL_TESTKEY_UNIQUE");
+}
+
+TEST(Config, ExplicitValueBeatsEnvironment) {
+  ::setenv("R4NCL_PRIORITY_KEY", "1", 1);
+  const Config cfg = parse({"priority_key=2"});
+  EXPECT_EQ(cfg.get_int("priority_key", 0), 2);
+  ::unsetenv("R4NCL_PRIORITY_KEY");
+}
+
+}  // namespace
+}  // namespace r4ncl

@@ -1,0 +1,72 @@
+// ResultTable: row construction, CSV escaping, file round-trip.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace r4ncl {
+namespace {
+
+TEST(ResultTable, BuildsRows) {
+  ResultTable t({"a", "b"});
+  t.add_row();
+  t.push("x");
+  t.push(1.5);
+  t.row({"y", "2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[0][0], "x");
+  EXPECT_EQ(t.rows()[1][1], "2");
+}
+
+TEST(ResultTable, RejectsOverfilledRow) {
+  ResultTable t({"only"});
+  t.add_row();
+  t.push("one");
+  EXPECT_THROW(t.push("two"), Error);
+}
+
+TEST(ResultTable, RejectsPushWithoutRow) {
+  ResultTable t({"a"});
+  EXPECT_THROW(t.push("x"), Error);
+}
+
+TEST(ResultTable, RejectsWrongWidthRow) {
+  ResultTable t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), Error);
+}
+
+TEST(ResultTable, RejectsEmptyHeader) { EXPECT_THROW(ResultTable({}), Error); }
+
+TEST(ResultTable, WritesCsvWithEscaping) {
+  ResultTable t({"name", "note"});
+  t.row({"plain", "with,comma"});
+  t.row({"quo\"te", "multi\nline"});
+  const std::string path = ::testing::TempDir() + "r4ncl_csv_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("name,note\n"), std::string::npos);
+  EXPECT_NE(content.find("plain,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(content.find("\"quo\"\"te\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ResultTable, NumericFormatting) {
+  EXPECT_EQ(format_double(1.0, 2), "1.00");
+  EXPECT_EQ(format_double(-0.12345, 3), "-0.123");
+}
+
+TEST(ResultTable, PrintDoesNotThrow) {
+  ResultTable t({"col"});
+  t.row({"val"});
+  EXPECT_NO_THROW(t.print("title"));
+}
+
+}  // namespace
+}  // namespace r4ncl

@@ -1,0 +1,76 @@
+// Hardware mapping estimates: core counts, synapse-memory splitting, SRAM fit.
+#include <gtest/gtest.h>
+
+#include "metrics/hw_mapper.hpp"
+
+namespace r4ncl::metrics {
+namespace {
+
+snn::SnnNetwork paper_net() { return snn::SnnNetwork{snn::NetworkConfig{}}; }
+
+TEST(HwMapper, PaperNetworkFitsOneLoihiClassChip) {
+  const MappingResult m = map_network(paper_net(), 11248 /* R4NCL latent bytes @L3 */);
+  EXPECT_TRUE(m.fits_cores);
+  EXPECT_TRUE(m.fits_synapses);
+  EXPECT_TRUE(m.latent_fits_sram);
+  EXPECT_GT(m.total_cores, 0u);
+  EXPECT_LE(m.core_utilisation, 1.0);
+  ASSERT_EQ(m.layers.size(), 4u);  // 3 hidden + readout
+}
+
+TEST(HwMapper, CoresScaleWithNeuronLimit) {
+  const snn::SnnNetwork net = paper_net();
+  ChipBudget small;
+  small.neurons_per_core = 64;
+  const MappingResult coarse = map_network(net, 0);
+  const MappingResult fine = map_network(net, 0, small);
+  EXPECT_GT(fine.total_cores, coarse.total_cores);
+}
+
+TEST(HwMapper, SynapseMemoryForcesSplit) {
+  // 200 neurons with 900 inputs at 9 b/synapse = 8.1 kb/neuron; with only
+  // 32 kb synapse memory per core, ≤4 neurons fit per core → ≥50 cores for
+  // layer 0 even though the neuron limit alone would allow one core.
+  const snn::SnnNetwork net = paper_net();
+  ChipBudget tight;
+  tight.synapse_bits_per_core = 32 * 1024;
+  tight.cores = 4096;
+  const MappingResult m = map_network(net, 0, tight);
+  EXPECT_GT(m.layers[0].cores_used, 49u);
+  EXPECT_TRUE(m.fits_synapses) << "splitting must bring per-core fill under 1.0";
+}
+
+TEST(HwMapper, FanInIncludesRecurrence) {
+  const snn::SnnNetwork net = paper_net();
+  const MappingResult m = map_network(net, 0);
+  // Hidden layer 0: 700 feedforward + 200 recurrent inputs.
+  EXPECT_EQ(m.layers[0].fan_in, 900u);
+  // Readout: 50 inputs, no recurrence.
+  EXPECT_EQ(m.layers.back().fan_in, 50u);
+}
+
+TEST(HwMapper, LatentSramVerdict) {
+  const snn::SnnNetwork net = paper_net();
+  ChipBudget budget;
+  budget.shared_sram_bytes = 10 * 1024;
+  EXPECT_TRUE(map_network(net, 10 * 1024, budget).latent_fits_sram);
+  EXPECT_FALSE(map_network(net, 10 * 1024 + 1, budget).latent_fits_sram);
+}
+
+TEST(HwMapper, ChipOverflowReported) {
+  const snn::SnnNetwork net = paper_net();
+  ChipBudget tiny;
+  tiny.cores = 1;
+  const MappingResult m = map_network(net, 0, tiny);
+  EXPECT_FALSE(m.fits_cores);
+  EXPECT_GT(m.core_utilisation, 1.0);
+}
+
+TEST(HwMapper, RejectsDegenerateBudget) {
+  ChipBudget bad;
+  bad.cores = 0;
+  EXPECT_THROW((void)map_network(paper_net(), 0, bad), Error);
+}
+
+}  // namespace
+}  // namespace r4ncl::metrics

@@ -1,0 +1,69 @@
+// Method factories must encode the paper's settings exactly.
+#include <gtest/gtest.h>
+
+#include "core/method_config.hpp"
+
+namespace r4ncl::core {
+namespace {
+
+TEST(MethodConfig, Replay4NclSettings) {
+  const auto cfg = NclMethodConfig::replay4ncl();
+  EXPECT_EQ(cfg.name, "Replay4NCL");
+  EXPECT_EQ(cfg.cl_timesteps, 40u);            // Sec. III-A, Observation B
+  EXPECT_EQ(cfg.storage_codec.ratio, 1u);      // stored directly at T*
+  EXPECT_FLOAT_EQ(cfg.lr_cl, kEtaPre / 100.0f);  // Alg. 1 line 6/21
+  EXPECT_TRUE(cfg.adaptive_threshold);
+  EXPECT_EQ(cfg.adjust_interval, 5);
+  EXPECT_TRUE(cfg.use_replay);
+}
+
+TEST(MethodConfig, SpikingLrSettings) {
+  const auto cfg = NclMethodConfig::spiking_lr();
+  EXPECT_EQ(cfg.name, "SpikingLR");
+  EXPECT_EQ(cfg.cl_timesteps, 100u);
+  EXPECT_EQ(cfg.storage_codec.ratio, 2u);
+  EXPECT_EQ(cfg.storage_codec.strategy, compress::CodecStrategy::kSubsample);
+  EXPECT_FLOAT_EQ(cfg.lr_cl, kEtaPre);
+  EXPECT_FALSE(cfg.adaptive_threshold);
+  EXPECT_TRUE(cfg.use_replay);
+}
+
+TEST(MethodConfig, ReducedTimestepVariant) {
+  const auto cfg = NclMethodConfig::spiking_lr_reduced(20);
+  EXPECT_EQ(cfg.cl_timesteps, 20u);
+  EXPECT_EQ(cfg.name, "SpikingLR-T20");
+  // Everything else stays SpikingLR: this is the "no compensation" case.
+  EXPECT_FALSE(cfg.adaptive_threshold);
+  EXPECT_FLOAT_EQ(cfg.lr_cl, kEtaPre);
+  EXPECT_EQ(cfg.storage_codec.ratio, 2u);
+}
+
+TEST(MethodConfig, NaiveBaselineHasNoReplay) {
+  const auto cfg = NclMethodConfig::naive_baseline();
+  EXPECT_FALSE(cfg.use_replay);
+  EXPECT_EQ(cfg.cl_timesteps, 100u);
+}
+
+TEST(MethodConfig, PolicyConstructionFixed) {
+  const auto cfg = NclMethodConfig::spiking_lr();
+  const auto policy = cfg.policy();
+  EXPECT_EQ(policy.mode, snn::ThresholdMode::kFixed);
+  EXPECT_FLOAT_EQ(policy.fixed_value, 1.0f);
+}
+
+TEST(MethodConfig, PolicyConstructionAdaptive) {
+  const auto cfg = NclMethodConfig::replay4ncl(40);
+  const auto policy = cfg.policy();
+  EXPECT_EQ(policy.mode, snn::ThresholdMode::kAdaptive);
+  EXPECT_EQ(policy.total_timesteps, 40);
+  EXPECT_EQ(policy.adjust_interval, 5);
+}
+
+TEST(MethodConfig, Replay4NclCustomTimestep) {
+  const auto cfg = NclMethodConfig::replay4ncl(60);
+  EXPECT_EQ(cfg.cl_timesteps, 60u);
+  EXPECT_EQ(cfg.policy().total_timesteps, 60);
+}
+
+}  // namespace
+}  // namespace r4ncl::core

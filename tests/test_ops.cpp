@@ -1,0 +1,218 @@
+// Matmul kernels against a naive reference, plus softmax/CE properties.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace r4ncl {
+namespace {
+
+Tensor random_tensor(std::size_t r, std::size_t c, Rng& rng, double sparsity = 0.0) {
+  Tensor t(r, c);
+  for (auto& v : t.values()) {
+    v = rng.bernoulli(sparsity) ? 0.0f : static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return t;
+}
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+void expect_tensor_near(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a(i), b(i), tol) << "element " << i;
+  }
+}
+
+/// Parameterised over (m, k, n, sparsity) so the sparse-skip fast path is
+/// exercised alongside the dense path and both thread regimes.
+class MatmulSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t, double>> {
+};
+
+TEST_P(MatmulSweep, MatchesNaiveReference) {
+  const auto [m, k, n, sparsity] = GetParam();
+  Rng rng(m * 1000 + k * 100 + n);
+  const Tensor a = random_tensor(m, k, rng, sparsity);
+  const Tensor b = random_tensor(k, n, rng);
+  Tensor c(m, n);
+  matmul(a, b, c);
+  expect_tensor_near(c, naive_matmul(a, b));
+}
+
+TEST_P(MatmulSweep, AccumulateAddsOnTop) {
+  const auto [m, k, n, sparsity] = GetParam();
+  Rng rng(m + k + n + 7);
+  const Tensor a = random_tensor(m, k, rng, sparsity);
+  const Tensor b = random_tensor(k, n, rng);
+  Tensor c(m, n);
+  c.fill(2.0f);
+  matmul(a, b, c, /*accumulate=*/true);
+  Tensor expected = naive_matmul(a, b);
+  for (auto& v : expected.values()) v += 2.0f;
+  expect_tensor_near(c, expected);
+}
+
+TEST_P(MatmulSweep, TransposeAAccumulate) {
+  const auto [m, k, n, sparsity] = GetParam();
+  Rng rng(m * 31 + k * 17 + n);
+  const Tensor a = random_tensor(m, k, rng, sparsity);  // (m×k): treated as Aᵀ·B
+  const Tensor b = random_tensor(m, n, rng);
+  Tensor c(k, n);
+  matmul_at_b_accum(a, b, c);
+  // Reference: Aᵀ (k×m) · B (m×n).
+  Tensor at(k, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < k; ++j) at(j, i) = a(i, j);
+  }
+  expect_tensor_near(c, naive_matmul(at, b));
+}
+
+TEST_P(MatmulSweep, TransposeB) {
+  const auto [m, k, n, sparsity] = GetParam();
+  Rng rng(m * 13 + k * 7 + n * 3);
+  const Tensor a = random_tensor(m, n, rng, sparsity);
+  const Tensor b = random_tensor(k, n, rng);
+  Tensor c(m, k);
+  matmul_a_bt(a, b, c);
+  Tensor bt(n, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < n; ++j) bt(j, i) = b(i, j);
+  }
+  expect_tensor_near(c, naive_matmul(a, bt));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1, 0.0), std::make_tuple(3, 5, 2, 0.0),
+                      std::make_tuple(8, 16, 8, 0.5), std::make_tuple(17, 33, 9, 0.9),
+                      std::make_tuple(64, 128, 32, 0.95), std::make_tuple(2, 700, 200, 0.98)));
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  Tensor a(2, 3), b(4, 5), c(2, 5);
+  EXPECT_THROW(matmul(a, b, c), Error);
+}
+
+TEST(Ops, Axpy) {
+  Tensor x(2, 2), y(2, 2);
+  x.fill(3.0f);
+  y.fill(1.0f);
+  axpy(2.0f, x, y);
+  for (float v : y.values()) EXPECT_EQ(v, 7.0f);
+}
+
+TEST(Ops, Hadamard) {
+  Tensor a(1, 3), b(1, 3), y(1, 3);
+  a(0) = 2;
+  a(1) = -3;
+  a(2) = 0;
+  b.fill(4.0f);
+  hadamard(a, b, y);
+  EXPECT_EQ(y(0), 8.0f);
+  EXPECT_EQ(y(1), -12.0f);
+  EXPECT_EQ(y(2), 0.0f);
+}
+
+TEST(Ops, SumMeanMaxAbs) {
+  Tensor t(1, 4);
+  t(0) = 1;
+  t(1) = -5;
+  t(2) = 2;
+  t(3) = 0;
+  EXPECT_DOUBLE_EQ(sum(t), -2.0);
+  EXPECT_DOUBLE_EQ(mean(t), -0.5);
+  EXPECT_EQ(max_abs(t), 5.0f);
+}
+
+TEST(Ops, ClipInplace) {
+  Tensor t(1, 3);
+  t(0) = 10;
+  t(1) = -10;
+  t(2) = 0.5f;
+  clip_inplace(t, 1.0f);
+  EXPECT_EQ(t(0), 1.0f);
+  EXPECT_EQ(t(1), -1.0f);
+  EXPECT_EQ(t(2), 0.5f);
+}
+
+TEST(Ops, CountNonzero) {
+  const float v[] = {0.0f, 1.0f, 0.0f, -2.0f, 0.0f};
+  EXPECT_EQ(kernels::count_nonzero(v, 5), 2u);
+  EXPECT_EQ(kernels::count_nonzero(v, 0), 0u);
+}
+
+TEST(Ops, SoftmaxCrossEntropyUniformLogits) {
+  Tensor logits(2, 4);  // all zeros → uniform distribution
+  const std::int32_t labels[] = {0, 3};
+  const double loss = softmax_cross_entropy(logits, labels, nullptr);
+  EXPECT_NEAR(loss, std::log(4.0), 1e-6);
+}
+
+TEST(Ops, SoftmaxCrossEntropyPerfectPrediction) {
+  Tensor logits(1, 3);
+  logits(0, 1) = 100.0f;
+  const std::int32_t labels[] = {1};
+  EXPECT_NEAR(softmax_cross_entropy(logits, labels, nullptr), 0.0, 1e-6);
+}
+
+TEST(Ops, SoftmaxGradientSumsToZeroPerRow) {
+  Rng rng(2);
+  Tensor logits = random_tensor(3, 5, rng);
+  Tensor grad(3, 5);
+  const std::int32_t labels[] = {0, 2, 4};
+  (void)softmax_cross_entropy(logits, labels, &grad);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < 5; ++j) row_sum += grad(i, j);
+    EXPECT_NEAR(row_sum, 0.0, 1e-6);
+  }
+}
+
+TEST(Ops, SoftmaxGradientMatchesFiniteDifference) {
+  Rng rng(4);
+  Tensor logits = random_tensor(2, 3, rng);
+  Tensor grad(2, 3);
+  const std::int32_t labels[] = {1, 2};
+  (void)softmax_cross_entropy(logits, labels, &grad);
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float keep = logits(i);
+    logits(i) = keep + h;
+    const double up = softmax_cross_entropy(logits, labels, nullptr);
+    logits(i) = keep - h;
+    const double down = softmax_cross_entropy(logits, labels, nullptr);
+    logits(i) = keep;
+    EXPECT_NEAR(grad(i), (up - down) / (2.0 * h), 5e-3) << "logit " << i;
+  }
+}
+
+TEST(Ops, SoftmaxRejectsBadLabel) {
+  Tensor logits(1, 3);
+  const std::int32_t labels[] = {3};
+  EXPECT_THROW(softmax_cross_entropy(logits, labels, nullptr), Error);
+}
+
+TEST(Ops, ArgmaxRows) {
+  Tensor t(2, 3);
+  t(0, 1) = 5.0f;
+  t(1, 2) = 2.0f;
+  const auto am = argmax_rows(t);
+  EXPECT_EQ(am[0], 1);
+  EXPECT_EQ(am[1], 2);
+}
+
+}  // namespace
+}  // namespace r4ncl

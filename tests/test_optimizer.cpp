@@ -1,0 +1,114 @@
+// Adam/SGD optimizers: descent direction, state keying, clipping.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "snn/optimizer.hpp"
+#include "util/error.hpp"
+
+namespace r4ncl::snn {
+namespace {
+
+TEST(Adam, MovesAgainstGradient) {
+  AdamOptimizer opt;
+  Tensor p(1, 2), g(1, 2);
+  p(0) = 1.0f;
+  p(1) = -1.0f;
+  g(0) = 1.0f;   // positive gradient → parameter must decrease
+  g(1) = -1.0f;  // negative gradient → parameter must increase
+  opt.step(p, g, 0.1f);
+  EXPECT_LT(p(0), 1.0f);
+  EXPECT_GT(p(1), -1.0f);
+}
+
+TEST(Adam, FirstStepMagnitudeIsLr) {
+  // With bias correction, |Δp| ≈ lr on the first step regardless of |g|.
+  AdamOptimizer opt;
+  Tensor p(1, 1), g(1, 1);
+  g(0) = 0.37f;
+  opt.step(p, g, 0.01f);
+  EXPECT_NEAR(std::fabs(p(0)), 0.01f, 1e-4);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // minimise f(x) = (x − 3)² starting at 0.
+  AdamOptimizer opt;
+  Tensor p(1, 1), g(1, 1);
+  for (int i = 0; i < 2000; ++i) {
+    g(0) = 2.0f * (p(0) - 3.0f);
+    opt.step(p, g, 0.01f);
+  }
+  EXPECT_NEAR(p(0), 3.0f, 0.05f);
+}
+
+TEST(Adam, IndependentStatePerTensor) {
+  AdamOptimizer opt;
+  Tensor a(1, 1), b(1, 1), g(1, 1);
+  g(0) = 1.0f;
+  for (int i = 0; i < 10; ++i) opt.step(a, g, 0.1f);
+  opt.step(b, g, 0.1f);
+  // b only took one (bias-corrected) step, a took ten.
+  EXPECT_LT(a(0), b(0));
+}
+
+TEST(Adam, GradClipBoundsUpdateDirection) {
+  AdamParams params;
+  params.grad_clip = 1.0f;
+  AdamOptimizer clipped(params);
+  AdamOptimizer unclipped(AdamParams{.grad_clip = 0.0f});
+  Tensor p1(1, 1), p2(1, 1), g(1, 1);
+  g(0) = 1000.0f;
+  clipped.step(p1, g, 0.1f);
+  unclipped.step(p2, g, 0.1f);
+  // Both move by ≈lr on step one (Adam normalises), so compare the internal
+  // moments via a second, small-gradient step: the clipped optimizer's
+  // second moment is much smaller, so it keeps moving faster.
+  g(0) = 0.001f;
+  clipped.step(p1, g, 0.1f);
+  unclipped.step(p2, g, 0.1f);
+  EXPECT_LT(p1(0), p2(0));
+}
+
+TEST(Adam, ResetClearsState) {
+  AdamOptimizer opt;
+  Tensor p(1, 1), g(1, 1);
+  g(0) = 1.0f;
+  opt.step(p, g, 0.1f);
+  opt.reset();
+  Tensor q(1, 1);
+  opt.step(q, g, 0.1f);
+  EXPECT_NEAR(q(0), p(0), 1e-6) << "post-reset first step equals a fresh first step";
+}
+
+TEST(Adam, EmptyParamIsNoop) {
+  AdamOptimizer opt;
+  Tensor p(0, 0), g(0, 0);
+  EXPECT_NO_THROW(opt.step(p, g, 0.1f));
+}
+
+TEST(Adam, ShapeMismatchThrows) {
+  AdamOptimizer opt;
+  Tensor p(2, 2), g(2, 3);
+  EXPECT_THROW(opt.step(p, g, 0.1f), Error);
+}
+
+TEST(Sgd, PlainStep) {
+  SgdOptimizer opt;
+  Tensor p(1, 1), g(1, 1);
+  p(0) = 1.0f;
+  g(0) = 0.5f;
+  opt.step(p, g, 0.2f);
+  EXPECT_NEAR(p(0), 0.9f, 1e-6);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  SgdOptimizer opt(0.9f);
+  Tensor p(1, 1), g(1, 1);
+  g(0) = 1.0f;
+  opt.step(p, g, 0.1f);  // v=1, p=-0.1
+  opt.step(p, g, 0.1f);  // v=1.9, p=-0.29
+  EXPECT_NEAR(p(0), -0.29f, 1e-5);
+}
+
+}  // namespace
+}  // namespace r4ncl::snn

@@ -1,0 +1,51 @@
+// parallel_for correctness: full coverage, no double-visits, thread knobs.
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.hpp"
+
+namespace r4ncl {
+namespace {
+
+TEST(Parallel, VisitsEveryIndexOnce) {
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for(0, n, [&](std::size_t i) { visits[i].fetch_add(1); }, 4096);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  parallel_for(7, 3, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, NonZeroBegin) {
+  std::atomic<std::size_t> sum{0};
+  parallel_for(10, 20, [&](std::size_t i) { sum.fetch_add(i); }, 4096);
+  EXPECT_EQ(sum.load(), 145u);  // 10+11+...+19
+}
+
+TEST(Parallel, ThreadCountKnob) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(0);  // clamped to 1
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(2);
+  EXPECT_EQ(num_threads(), 2);
+}
+
+TEST(Parallel, SmallGrainRunsSerial) {
+  // With grain 1 and a tiny range the body must still run for every index.
+  set_num_threads(4);
+  std::vector<int> visits(10, 0);
+  parallel_for(0, 10, [&](std::size_t i) { visits[i] += 1; }, 1);
+  for (int v : visits) EXPECT_EQ(v, 1);
+  set_num_threads(2);
+}
+
+}  // namespace
+}  // namespace r4ncl

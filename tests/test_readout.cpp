@@ -1,0 +1,132 @@
+// Leaky readout: integration math, backward consistency, stats.
+#include <gtest/gtest.h>
+
+#include "snn/readout.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace r4ncl::snn {
+namespace {
+
+TEST(Readout, SingleSpikeLogitGeometry) {
+  // One spike at t=0, weight w, β: logits = w·(1 + β + β²)/T over T=3 steps.
+  Rng rng(1);
+  LeakyReadout ro(1, 1, 0.5f, rng);
+  ro.w()(0) = 2.0f;
+  Tensor x(3, 1, 1);
+  x(0, 0, 0) = 1.0f;
+  const Tensor logits = ro.forward(x, nullptr);
+  EXPECT_NEAR(logits(0, 0), 2.0f * (1.0f + 0.5f + 0.25f) / 3.0f, 1e-6);
+}
+
+TEST(Readout, LaterSpikesContributeLess) {
+  Rng rng(2);
+  LeakyReadout ro(1, 1, 0.9f, rng);
+  ro.w()(0) = 1.0f;
+  Tensor early(5, 1, 1), late(5, 1, 1);
+  early(0, 0, 0) = 1.0f;
+  late(4, 0, 0) = 1.0f;
+  EXPECT_GT(ro.forward(early, nullptr)(0, 0), ro.forward(late, nullptr)(0, 0));
+}
+
+TEST(Readout, BackwardMatchesFiniteDifference) {
+  Rng rng(3);
+  LeakyReadout ro(4, 3, 0.8f, rng);
+  Tensor x(5, 2, 4);
+  Rng data(4);
+  for (auto& v : x.values()) v = data.bernoulli(0.5) ? 1.0f : 0.0f;
+  const std::int32_t labels[] = {0, 2};
+
+  auto loss_fn = [&]() {
+    const Tensor logits = ro.forward(x, nullptr);
+    return softmax_cross_entropy(logits, labels, nullptr);
+  };
+
+  const Tensor logits = ro.forward(x, nullptr);
+  Tensor d_logits(2, 3);
+  (void)softmax_cross_entropy(logits, labels, &d_logits);
+  ro.zero_grad();
+  Tensor d_in(5, 2, 4);
+  ro.backward(x, d_logits, &d_in, nullptr);
+
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < ro.w().size(); ++i) {
+    float& w = ro.w()(i);
+    const float keep = w;
+    w = keep + h;
+    const double up = loss_fn();
+    w = keep - h;
+    const double down = loss_fn();
+    w = keep;
+    EXPECT_NEAR(ro.grad_w()(i), (up - down) / (2.0 * h), 5e-3) << "w[" << i << "]";
+  }
+}
+
+TEST(Readout, InputGradientFiniteDifference) {
+  Rng rng(5);
+  LeakyReadout ro(3, 2, 0.7f, rng);
+  Tensor x(4, 1, 3);
+  Rng data(6);
+  for (auto& v : x.values()) v = static_cast<float>(data.uniform(0.0, 1.0));
+  const std::int32_t labels[] = {1};
+
+  const Tensor logits = ro.forward(x, nullptr);
+  Tensor d_logits(1, 2);
+  (void)softmax_cross_entropy(logits, labels, &d_logits);
+  ro.zero_grad();
+  Tensor d_in(4, 1, 3);
+  ro.backward(x, d_logits, &d_in, nullptr);
+
+  const float h = 1e-3f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float keep = x(i);
+    x(i) = keep + h;
+    const Tensor lu = ro.forward(x, nullptr);
+    const double up = softmax_cross_entropy(lu, labels, nullptr);
+    x(i) = keep - h;
+    const Tensor ld = ro.forward(x, nullptr);
+    const double down = softmax_cross_entropy(ld, labels, nullptr);
+    x(i) = keep;
+    EXPECT_NEAR(d_in(i), (up - down) / (2.0 * h), 5e-3) << "x[" << i << "]";
+  }
+}
+
+TEST(Readout, StatsCountEvents) {
+  Rng rng(7);
+  LeakyReadout ro(4, 5, 0.9f, rng);
+  Tensor x(3, 2, 4);
+  x(0, 0, 0) = 1.0f;
+  x(2, 1, 3) = 1.0f;
+  SpikeOpStats stats;
+  (void)ro.forward(x, &stats);
+  EXPECT_EQ(stats.synops, 2u * 5u);
+  EXPECT_EQ(stats.neuron_updates, 3u * 2u * 5u);
+}
+
+TEST(Readout, SaveLoadRoundTrip) {
+  Rng rng(8);
+  LeakyReadout ro(6, 4, 0.85f, rng);
+  const std::string path = ::testing::TempDir() + "r4ncl_readout.bin";
+  {
+    BinaryWriter out(path);
+    ro.save(out);
+    out.close();
+  }
+  Rng rng2(99);
+  LeakyReadout restored(6, 4, 0.1f, rng2);
+  {
+    BinaryReader in(path);
+    restored.load(in);
+  }
+  for (std::size_t i = 0; i < ro.w().size(); ++i) EXPECT_EQ(ro.w()(i), restored.w()(i));
+}
+
+TEST(Readout, RejectsWrongShapes) {
+  Rng rng(9);
+  LeakyReadout ro(4, 2, 0.9f, rng);
+  Tensor bad(3, 1, 5);
+  EXPECT_THROW((void)ro.forward(bad, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace r4ncl::snn

@@ -1,0 +1,84 @@
+// Parameterized properties of time_rescale across target lengths and
+// methods — the transformation underlying the paper's timestep optimization.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "data/spike_data.hpp"
+#include "util/rng.hpp"
+
+namespace r4ncl::data {
+namespace {
+
+class RescaleSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, TimeRescaleMethod>> {
+ protected:
+  SpikeRaster make_raster(double density, std::uint64_t seed = 5) const {
+    SpikeRaster r(100, 16);
+    Rng rng(seed);
+    for (auto& b : r.bits) b = rng.bernoulli(density) ? 1 : 0;
+    return r;
+  }
+};
+
+TEST_P(RescaleSweep, OutputGeometry) {
+  const auto [target, method] = GetParam();
+  const SpikeRaster out = time_rescale(make_raster(0.2), target, method);
+  EXPECT_EQ(out.timesteps, target);
+  EXPECT_EQ(out.channels, 16u);
+}
+
+TEST_P(RescaleSweep, NeverCreatesSpikesFromSilence) {
+  const auto [target, method] = GetParam();
+  const SpikeRaster out = time_rescale(SpikeRaster(100, 16), target, method);
+  EXPECT_EQ(out.spike_count(), 0u);
+}
+
+TEST_P(RescaleSweep, SpikeCountNeverGrows) {
+  const auto [target, method] = GetParam();
+  const SpikeRaster r = make_raster(0.3);
+  const SpikeRaster out = time_rescale(r, target, method);
+  EXPECT_LE(out.spike_count(), r.spike_count());
+}
+
+TEST_P(RescaleSweep, FullDensityStaysFull) {
+  const auto [target, method] = GetParam();
+  SpikeRaster r(100, 4);
+  for (auto& b : r.bits) b = 1;
+  const SpikeRaster out = time_rescale(r, target, method);
+  EXPECT_EQ(out.spike_count(), out.bits.size()) << "all-ones raster must stay all-ones";
+}
+
+TEST_P(RescaleSweep, Deterministic) {
+  const auto [target, method] = GetParam();
+  const SpikeRaster r = make_raster(0.25);
+  EXPECT_EQ(time_rescale(r, target, method), time_rescale(r, target, method));
+}
+
+TEST_P(RescaleSweep, GroupOrDominatesSubsample) {
+  // For any target length, group-OR retains at least as many spikes as
+  // subsampling (it ORs the whole bin instead of reading one slot).
+  const auto [target, method] = GetParam();
+  if (method != TimeRescaleMethod::kGroupOr) GTEST_SKIP();
+  const SpikeRaster r = make_raster(0.15);
+  EXPECT_GE(time_rescale(r, target, TimeRescaleMethod::kGroupOr).spike_count(),
+            time_rescale(r, target, TimeRescaleMethod::kSubsample).spike_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TargetsAndMethods, RescaleSweep,
+    ::testing::Combine(::testing::Values(100u, 99u, 60u, 40u, 20u, 7u, 1u),
+                       ::testing::Values(TimeRescaleMethod::kGroupOr,
+                                         TimeRescaleMethod::kSubsample)));
+
+TEST(RescaleUpsample, ExpandingKeepsSpikesAtBinStarts) {
+  // Rescaling 7 → 14 (used when decompressed data is re-expanded).
+  SpikeRaster r(7, 2);
+  r.set(3, 1, true);
+  const SpikeRaster up = time_rescale(r, 14, TimeRescaleMethod::kSubsample);
+  EXPECT_EQ(up.timesteps, 14u);
+  EXPECT_GE(up.spike_count(), 1u);
+}
+
+}  // namespace
+}  // namespace r4ncl::data

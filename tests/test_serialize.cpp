@@ -1,0 +1,101 @@
+// Binary writer/reader round-trips and failure modes.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/serialize.hpp"
+
+namespace r4ncl {
+namespace {
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + name; }
+
+TEST(Serialize, ScalarRoundTrip) {
+  const std::string path = temp_path("r4ncl_ser1.bin");
+  {
+    BinaryWriter w(path);
+    w.write_u32(0xdeadbeefu);
+    w.write_u64(1ull << 40);
+    w.write_i64(-123456789);
+    w.write_f32(1.5f);
+    w.write_f64(-2.25);
+    w.close();
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u64(), 1ull << 40);
+  EXPECT_EQ(r.read_i64(), -123456789);
+  EXPECT_EQ(r.read_f32(), 1.5f);
+  EXPECT_EQ(r.read_f64(), -2.25);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, StringAndVectorRoundTrip) {
+  const std::string path = temp_path("r4ncl_ser2.bin");
+  const std::vector<float> vf = {1.0f, -2.0f, 0.5f};
+  const std::vector<std::uint8_t> vb = {0, 1, 255};
+  {
+    BinaryWriter w(path);
+    w.write_string("hello world");
+    w.write_string("");
+    w.write_f32_vector(vf);
+    w.write_u8_vector(vb);
+    w.close();
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.read_string(), "hello world");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_f32_vector(), vf);
+  EXPECT_EQ(r.read_u8_vector(), vb);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TagMismatchThrows) {
+  const std::string path = temp_path("r4ncl_ser3.bin");
+  {
+    BinaryWriter w(path);
+    w.write_tag(make_tag("AAAA"));
+    w.close();
+  }
+  BinaryReader r(path);
+  EXPECT_THROW(r.expect_tag(make_tag("BBBB")), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TagMatchesOk) {
+  const std::string path = temp_path("r4ncl_ser4.bin");
+  {
+    BinaryWriter w(path);
+    w.write_tag(make_tag("WGHT"));
+    w.close();
+  }
+  BinaryReader r(path);
+  EXPECT_NO_THROW(r.expect_tag(make_tag("WGHT")));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ShortReadThrows) {
+  const std::string path = temp_path("r4ncl_ser5.bin");
+  {
+    BinaryWriter w(path);
+    w.write_u32(1);
+    w.close();
+  }
+  BinaryReader r(path);
+  (void)r.read_u32();
+  EXPECT_THROW(r.read_u64(), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(BinaryReader("/nonexistent/dir/file.bin"), Error);
+}
+
+TEST(Serialize, MakeTagIsPositional) {
+  EXPECT_NE(make_tag("ABCD"), make_tag("DCBA"));
+  EXPECT_EQ(make_tag("ABCD"), make_tag("ABCD"));
+}
+
+}  // namespace
+}  // namespace r4ncl

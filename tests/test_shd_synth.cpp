@@ -1,0 +1,161 @@
+// Synthetic SHD generator: determinism, geometry, class structure.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/shd_synth.hpp"
+
+namespace r4ncl::data {
+namespace {
+
+ShdSynthParams small_params() {
+  ShdSynthParams p;
+  p.channels = 64;
+  p.classes = 4;
+  p.timesteps = 50;
+  p.seed = 11;
+  return p;
+}
+
+TEST(ShdSynth, SampleGeometry) {
+  const SyntheticShdGenerator gen(small_params());
+  Rng rng(1);
+  const Sample s = gen.make_sample(2, rng);
+  EXPECT_EQ(s.label, 2);
+  EXPECT_EQ(s.raster.timesteps, 50u);
+  EXPECT_EQ(s.raster.channels, 64u);
+}
+
+TEST(ShdSynth, DeterministicPrototypes) {
+  const SyntheticShdGenerator a(small_params()), b(small_params());
+  for (std::int32_t k = 0; k < 4; ++k) {
+    const auto& ra = a.class_prototype(k);
+    const auto& rb = b.class_prototype(k);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_DOUBLE_EQ(ra[i].start_channel, rb[i].start_channel);
+      EXPECT_DOUBLE_EQ(ra[i].velocity, rb[i].velocity);
+    }
+  }
+}
+
+TEST(ShdSynth, SeedChangesPrototypes) {
+  ShdSynthParams p2 = small_params();
+  p2.seed = 999;
+  const SyntheticShdGenerator a(small_params()), b(p2);
+  bool any_diff = false;
+  for (std::int32_t k = 0; k < 4 && !any_diff; ++k) {
+    any_diff = a.class_prototype(k)[0].start_channel != b.class_prototype(k)[0].start_channel;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ShdSynth, DatasetDeterministicGivenSeed) {
+  const SyntheticShdGenerator gen(small_params());
+  const Dataset a = gen.make_dataset(3, 42);
+  const Dataset b = gen.make_dataset(3, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_TRUE(a[i].raster == b[i].raster) << "sample " << i;
+  }
+}
+
+TEST(ShdSynth, DifferentDrawSeedsDiffer) {
+  const SyntheticShdGenerator gen(small_params());
+  const Dataset a = gen.make_dataset(2, 1);
+  const Dataset b = gen.make_dataset(2, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size() && !any_diff; ++i) {
+    any_diff = !(a[i].raster == b[i].raster);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ShdSynth, DatasetIsClassMajorAndComplete) {
+  const SyntheticShdGenerator gen(small_params());
+  const Dataset ds = gen.make_dataset(3, 5);
+  ASSERT_EQ(ds.size(), 12u);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds[i].label, static_cast<std::int32_t>(i / 3));
+  }
+}
+
+TEST(ShdSynth, SubsetDatasetOnlyHasRequestedClasses) {
+  const SyntheticShdGenerator gen(small_params());
+  const std::int32_t classes[] = {1, 3};
+  const Dataset ds = gen.make_dataset(classes, 2, 7);
+  ASSERT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds[0].label, 1);
+  EXPECT_EQ(ds[2].label, 3);
+}
+
+TEST(ShdSynth, RidgeActivityAboveBackground) {
+  // The class rate field at a ridge centre must clearly exceed background.
+  const SyntheticShdGenerator gen(small_params());
+  const auto& ridges = gen.class_prototype(0);
+  const Ridge& ridge = ridges[0];
+  const double t_mid = 0.5 * (ridge.t_on + ridge.t_off);
+  const double centre = ridge.start_channel + ridge.velocity * (t_mid - ridge.t_on);
+  const double at_ridge = gen.class_rate(0, t_mid, centre);
+  EXPECT_GT(at_ridge, 10.0 * small_params().background_rate);
+}
+
+TEST(ShdSynth, SamplesCarryClassSignal) {
+  // Average rasters per class and check that a class's own mean raster is a
+  // better match (higher correlation) than another class's — the dataset
+  // must be statistically separable for the CL experiments to be meaningful.
+  const SyntheticShdGenerator gen(small_params());
+  const std::size_t per_class = 12;
+  const Dataset ds = gen.make_dataset(per_class, 3);
+  const std::size_t cells = 50 * 64;
+  std::vector<std::vector<double>> mean(4, std::vector<double>(cells, 0.0));
+  for (const auto& s : ds) {
+    for (std::size_t i = 0; i < cells; ++i) {
+      mean[static_cast<std::size_t>(s.label)][i] += s.raster.bits[i];
+    }
+  }
+  for (auto& m : mean) {
+    for (auto& v : m) v /= per_class;
+  }
+  auto dot = [&](const std::vector<double>& a, const std::vector<double>& b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < cells; ++i) acc += a[i] * b[i];
+    return acc;
+  };
+  for (std::size_t k = 0; k < 4; ++k) {
+    const double self = dot(mean[k], mean[k]);
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (j == k) continue;
+      EXPECT_GT(self, dot(mean[k], mean[j])) << "classes " << k << " vs " << j;
+    }
+  }
+}
+
+TEST(ShdSynth, DensityInEventDataRange) {
+  const SyntheticShdGenerator gen(small_params());
+  const Dataset ds = gen.make_dataset(4, 5);
+  double density = 0.0;
+  for (const auto& s : ds) density += s.raster.density();
+  density /= static_cast<double>(ds.size());
+  // Event data is sparse but not empty: between 0.5% and 30% of cells.
+  EXPECT_GT(density, 0.005);
+  EXPECT_LT(density, 0.30);
+}
+
+TEST(ShdSynth, RejectsBadClassId) {
+  const SyntheticShdGenerator gen(small_params());
+  Rng rng(1);
+  EXPECT_THROW((void)gen.make_sample(99, rng), Error);
+  EXPECT_THROW((void)gen.class_prototype(-1), Error);
+}
+
+TEST(ShdSynth, PaperDefaultGeometry) {
+  const ShdSynthParams defaults;
+  EXPECT_EQ(defaults.channels, 700u);
+  EXPECT_EQ(defaults.classes, 20u);
+  EXPECT_EQ(defaults.timesteps, 100u);
+}
+
+}  // namespace
+}  // namespace r4ncl::data

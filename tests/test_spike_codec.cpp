@@ -1,0 +1,154 @@
+// Spike codec: bit-exact reproduction of the paper's Fig. 7 example plus
+// parameterised properties over ratios and strategies.
+#include <gtest/gtest.h>
+
+#include "compress/spike_codec.hpp"
+#include "util/rng.hpp"
+
+namespace r4ncl::compress {
+namespace {
+
+data::SpikeRaster from_bits(std::initializer_list<int> bits) {
+  data::SpikeRaster r(bits.size(), 1);
+  std::size_t t = 0;
+  for (int b : bits) r.set(t++, 0, b != 0);
+  return r;
+}
+
+std::vector<int> to_bits(const data::SpikeRaster& r) {
+  std::vector<int> out;
+  out.reserve(r.timesteps);
+  for (std::size_t t = 0; t < r.timesteps; ++t) out.push_back(r.at(t, 0));
+  return out;
+}
+
+TEST(SpikeCodec, PaperFig7CompressExample) {
+  // Original: 1 1 0 1 0 1 0 0 1 0 1 1 1 0  →  Compressed: 1 0 0 0 1 1 1
+  const auto original = from_bits({1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1, 1, 1, 0});
+  const CodecConfig cfg{.ratio = 2, .strategy = CodecStrategy::kSubsample};
+  EXPECT_EQ(to_bits(compress(original, cfg)), (std::vector<int>{1, 0, 0, 0, 1, 1, 1}));
+}
+
+TEST(SpikeCodec, PaperFig7DecompressExample) {
+  // Compressed: 1 0 0 0 1 1 1  →  Decompressed: 1 0 0 0 0 0 0 0 1 0 1 0 1 0
+  const auto compressed = from_bits({1, 0, 0, 0, 1, 1, 1});
+  const CodecConfig cfg{.ratio = 2, .strategy = CodecStrategy::kSubsample};
+  EXPECT_EQ(to_bits(decompress(compressed, 14, cfg)),
+            (std::vector<int>{1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 0, 1, 0}));
+}
+
+TEST(SpikeCodec, RatioOneIsIdentity) {
+  Rng rng(1);
+  data::SpikeRaster r(10, 4);
+  for (auto& b : r.bits) b = rng.bernoulli(0.4) ? 1 : 0;
+  const CodecConfig cfg{.ratio = 1};
+  EXPECT_EQ(compress(r, cfg), r);
+  EXPECT_EQ(decompress(r, 10, cfg), r);
+}
+
+/// Properties that must hold for every (ratio, strategy) combination.
+class CodecSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, CodecStrategy>> {};
+
+TEST_P(CodecSweep, CompressedLengthIsCeilTOverRatio) {
+  const auto [ratio, strategy] = GetParam();
+  const CodecConfig cfg{.ratio = ratio, .strategy = strategy};
+  for (std::size_t T : {1u, 7u, 40u, 100u, 101u}) {
+    data::SpikeRaster r(T, 3);
+    const auto c = compress(r, cfg);
+    EXPECT_EQ(c.timesteps, (T + ratio - 1) / ratio) << "T=" << T;
+    EXPECT_EQ(c.channels, 3u);
+  }
+}
+
+TEST_P(CodecSweep, RoundTripNeverGainsSpikes) {
+  const auto [ratio, strategy] = GetParam();
+  const CodecConfig cfg{.ratio = ratio, .strategy = strategy};
+  Rng rng(ratio * 10 + static_cast<int>(strategy));
+  data::SpikeRaster r(100, 8);
+  for (auto& b : r.bits) b = rng.bernoulli(0.25) ? 1 : 0;
+  const auto round = decompress(compress(r, cfg), 100, cfg);
+  if (strategy == CodecStrategy::kGroupOr) {
+    // OR keeps one representative per active group: count can only shrink.
+    EXPECT_LE(round.spike_count(), r.spike_count());
+    EXPECT_GT(round.spike_count(), 0u);
+  } else {
+    EXPECT_LE(round.spike_count(), r.spike_count());
+  }
+}
+
+TEST_P(CodecSweep, DecompressedSpikesSitAtGroupStarts) {
+  const auto [ratio, strategy] = GetParam();
+  if (ratio == 1) GTEST_SKIP() << "identity codec has no group structure";
+  const CodecConfig cfg{.ratio = ratio, .strategy = strategy};
+  Rng rng(77);
+  data::SpikeRaster r(60, 4);
+  for (auto& b : r.bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  const auto round = decompress(compress(r, cfg), 60, cfg);
+  for (std::size_t t = 0; t < round.timesteps; ++t) {
+    if (t % ratio == 0) continue;
+    for (std::size_t c = 0; c < round.channels; ++c) {
+      EXPECT_EQ(round.at(t, c), 0) << "non-group-start slot must be zero, t=" << t;
+    }
+  }
+}
+
+TEST_P(CodecSweep, PackedPathMatchesUnpackedPath) {
+  const auto [ratio, strategy] = GetParam();
+  const CodecConfig cfg{.ratio = ratio, .strategy = strategy};
+  Rng rng(5);
+  data::SpikeRaster r(48, 10);
+  for (auto& b : r.bits) b = rng.bernoulli(0.3) ? 1 : 0;
+  const auto direct = decompress(compress(r, cfg), 48, cfg);
+  const auto packed = decompress_packed(compress_packed(r, cfg), 48, cfg);
+  EXPECT_EQ(direct, packed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatiosAndStrategies, CodecSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(CodecStrategy::kSubsample, CodecStrategy::kGroupOr,
+                                         CodecStrategy::kGroupMajority)));
+
+TEST(SpikeCodec, GroupOrRetainsMoreThanSubsample) {
+  Rng rng(9);
+  data::SpikeRaster r(100, 16);
+  for (auto& b : r.bits) b = rng.bernoulli(0.15) ? 1 : 0;
+  const double ret_or =
+      spike_retention(r, {.ratio = 2, .strategy = CodecStrategy::kGroupOr});
+  const double ret_sub =
+      spike_retention(r, {.ratio = 2, .strategy = CodecStrategy::kSubsample});
+  EXPECT_GE(ret_or, ret_sub);
+}
+
+TEST(SpikeCodec, RetentionDecreasesWithRatio) {
+  Rng rng(10);
+  data::SpikeRaster r(96, 16);
+  for (auto& b : r.bits) b = rng.bernoulli(0.2) ? 1 : 0;
+  double prev = 1.1;
+  for (std::uint32_t ratio : {1u, 2u, 4u}) {
+    const double ret = spike_retention(r, {.ratio = ratio, .strategy = CodecStrategy::kSubsample});
+    EXPECT_LE(ret, prev) << "ratio " << ratio;
+    prev = ret;
+  }
+}
+
+TEST(SpikeCodec, RetentionOfEmptyIsOne) {
+  const data::SpikeRaster r(10, 3);
+  EXPECT_DOUBLE_EQ(spike_retention(r, {.ratio = 4}), 1.0);
+}
+
+TEST(SpikeCodec, DecompressRejectsWrongLength) {
+  const data::SpikeRaster r(5, 2);
+  EXPECT_THROW((void)decompress(r, 14, {.ratio = 2}), Error);
+}
+
+TEST(SpikeCodec, MajorityVotesCorrectly) {
+  // Group of 3: two spikes → majority 1; one spike → 0.
+  const auto original = from_bits({1, 1, 0, 1, 0, 0});
+  const CodecConfig cfg{.ratio = 3, .strategy = CodecStrategy::kGroupMajority};
+  EXPECT_EQ(to_bits(compress(original, cfg)), (std::vector<int>{1, 0}));
+}
+
+}  // namespace
+}  // namespace r4ncl::compress

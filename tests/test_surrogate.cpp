@@ -1,0 +1,80 @@
+// Surrogate gradient functions: shapes, symmetry, analytic consistency.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "snn/surrogate.hpp"
+
+namespace r4ncl::snn {
+namespace {
+
+TEST(Surrogate, HardSpikeIsStep) {
+  EXPECT_EQ(hard_spike(0.1f), 1.0f);
+  EXPECT_EQ(hard_spike(-0.1f), 0.0f);
+  EXPECT_EQ(hard_spike(0.0f), 0.0f);  // paper: spike iff x > θ
+}
+
+TEST(Surrogate, FastSigmoidPeaksAtZero) {
+  const SurrogateParams p{SurrogateKind::kFastSigmoid, 10.0f};
+  EXPECT_EQ(surrogate_grad(0.0f, p), 1.0f);
+  EXPECT_LT(surrogate_grad(0.1f, p), 1.0f);
+  EXPECT_LT(surrogate_grad(-0.1f, p), 1.0f);
+}
+
+TEST(Surrogate, FastSigmoidIsSymmetric) {
+  const SurrogateParams p{SurrogateKind::kFastSigmoid, 10.0f};
+  for (float u : {0.01f, 0.05f, 0.2f, 1.0f}) {
+    EXPECT_FLOAT_EQ(surrogate_grad(u, p), surrogate_grad(-u, p));
+  }
+}
+
+TEST(Surrogate, FastSigmoidMatchesPaperFormula) {
+  // ∂S/∂x ≈ 1/(scale·x + 1)² for x ≥ 0 (paper Fig. 5b).
+  const SurrogateParams p{SurrogateKind::kFastSigmoid, 10.0f};
+  for (float u : {0.0f, 0.025f, 0.05f, 0.1f}) {
+    const float expected = 1.0f / ((10.0f * u + 1.0f) * (10.0f * u + 1.0f));
+    EXPECT_NEAR(surrogate_grad(u, p), expected, 1e-6);
+  }
+}
+
+TEST(Surrogate, ScaleControlsSharpness) {
+  const SurrogateParams narrow{SurrogateKind::kFastSigmoid, 100.0f};
+  const SurrogateParams wide{SurrogateKind::kFastSigmoid, 1.0f};
+  EXPECT_LT(surrogate_grad(0.1f, narrow), surrogate_grad(0.1f, wide));
+}
+
+TEST(Surrogate, AtanFamily) {
+  const SurrogateParams p{SurrogateKind::kAtan, 5.0f};
+  EXPECT_EQ(surrogate_grad(0.0f, p), 1.0f);
+  EXPECT_FLOAT_EQ(surrogate_grad(0.2f, p), surrogate_grad(-0.2f, p));
+  EXPECT_LT(surrogate_grad(1.0f, p), 0.05f);
+}
+
+TEST(Surrogate, BoxcarFamily) {
+  const SurrogateParams p{SurrogateKind::kBoxcar, 10.0f};
+  EXPECT_EQ(surrogate_grad(0.05f, p), 1.0f);   // inside |u| < 0.1
+  EXPECT_EQ(surrogate_grad(0.15f, p), 0.0f);   // outside
+  EXPECT_EQ(surrogate_grad(-0.05f, p), 1.0f);
+}
+
+TEST(Surrogate, SoftSpikeDerivativeEqualsSurrogate) {
+  // h'(u) == surrogate_grad(u) is the invariant the gradcheck tests rely on;
+  // verify it numerically over a range of u.
+  const SurrogateParams p{SurrogateKind::kFastSigmoid, 4.0f};
+  const float h = 1e-4f;
+  for (float u = -0.9f; u <= 0.9f; u += 0.075f) {
+    if (std::fabs(u) < 2 * h) continue;  // |u| kink at 0
+    const float fd = (soft_spike(u + h, p) - soft_spike(u - h, p)) / (2.0f * h);
+    EXPECT_NEAR(fd, surrogate_grad(u, p), 2e-3) << "u=" << u;
+  }
+}
+
+TEST(Surrogate, SoftSpikeCenteredAtHalf) {
+  const SurrogateParams p{SurrogateKind::kFastSigmoid, 10.0f};
+  EXPECT_FLOAT_EQ(soft_spike(0.0f, p), 0.5f);
+  EXPECT_GT(soft_spike(0.5f, p), 0.5f);
+  EXPECT_LT(soft_spike(-0.5f, p), 0.5f);
+}
+
+}  // namespace
+}  // namespace r4ncl::snn

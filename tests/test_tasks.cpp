@@ -1,0 +1,113 @@
+// Class-incremental task protocol construction.
+#include <gtest/gtest.h>
+
+#include "data/tasks.hpp"
+
+namespace r4ncl::data {
+namespace {
+
+ShdSynthParams small_params() {
+  ShdSynthParams p;
+  p.channels = 32;
+  p.classes = 5;
+  p.timesteps = 20;
+  p.seed = 3;
+  return p;
+}
+
+TaskSplitParams small_split() {
+  TaskSplitParams s;
+  s.train_per_class = 4;
+  s.test_per_class = 2;
+  s.replay_per_class = 2;
+  s.new_class = 4;
+  s.seed = 10;
+  return s;
+}
+
+TEST(Tasks, SplitSizes) {
+  const SyntheticShdGenerator gen(small_params());
+  const auto tasks = build_class_incremental(gen, small_split());
+  EXPECT_EQ(tasks.old_classes.size(), 4u);
+  EXPECT_EQ(tasks.pretrain_train.size(), 16u);
+  EXPECT_EQ(tasks.pretrain_test.size(), 8u);
+  EXPECT_EQ(tasks.replay_subset.size(), 8u);
+  EXPECT_EQ(tasks.new_train.size(), 4u);
+  EXPECT_EQ(tasks.new_test.size(), 2u);
+}
+
+TEST(Tasks, NewClassExcludedFromOldSets) {
+  const SyntheticShdGenerator gen(small_params());
+  const auto tasks = build_class_incremental(gen, small_split());
+  const std::int32_t new_cls[] = {4};
+  EXPECT_EQ(fraction_with_labels(tasks.pretrain_train, new_cls), 0.0);
+  EXPECT_EQ(fraction_with_labels(tasks.pretrain_test, new_cls), 0.0);
+  EXPECT_EQ(fraction_with_labels(tasks.replay_subset, new_cls), 0.0);
+  EXPECT_EQ(fraction_with_labels(tasks.new_train, new_cls), 1.0);
+  EXPECT_EQ(fraction_with_labels(tasks.new_test, new_cls), 1.0);
+}
+
+TEST(Tasks, ReplaySubsetDrawnFromPretrainTrain) {
+  const SyntheticShdGenerator gen(small_params());
+  const auto tasks = build_class_incremental(gen, small_split());
+  // Every replay raster must appear verbatim in the pre-training set
+  // (TS_replay ⊆ TS_pre, Alg. 1).
+  for (const auto& r : tasks.replay_subset) {
+    bool found = false;
+    for (const auto& p : tasks.pretrain_train) {
+      if (p.label == r.label && p.raster == r.raster) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Tasks, ReplayCoversEveryOldClass) {
+  const SyntheticShdGenerator gen(small_params());
+  const auto tasks = build_class_incremental(gen, small_split());
+  EXPECT_EQ(classes_of(tasks.replay_subset), tasks.old_classes);
+}
+
+TEST(Tasks, TrainAndTestSetsDisjoint) {
+  const SyntheticShdGenerator gen(small_params());
+  const auto tasks = build_class_incremental(gen, small_split());
+  for (const auto& te : tasks.pretrain_test) {
+    for (const auto& tr : tasks.pretrain_train) {
+      EXPECT_FALSE(te.label == tr.label && te.raster == tr.raster)
+          << "test sample duplicated in train set";
+    }
+  }
+}
+
+TEST(Tasks, NonDefaultNewClass) {
+  const SyntheticShdGenerator gen(small_params());
+  TaskSplitParams split = small_split();
+  split.new_class = 0;
+  const auto tasks = build_class_incremental(gen, split);
+  EXPECT_EQ(tasks.new_class, 0);
+  EXPECT_EQ(tasks.old_classes, (std::vector<std::int32_t>{1, 2, 3, 4}));
+}
+
+TEST(Tasks, RejectsBadConfig) {
+  const SyntheticShdGenerator gen(small_params());
+  TaskSplitParams bad = small_split();
+  bad.new_class = 7;
+  EXPECT_THROW((void)build_class_incremental(gen, bad), Error);
+  bad = small_split();
+  bad.replay_per_class = 100;
+  EXPECT_THROW((void)build_class_incremental(gen, bad), Error);
+}
+
+TEST(Tasks, FractionWithLabelsEdgeCases) {
+  const std::int32_t cls[] = {1};
+  EXPECT_EQ(fraction_with_labels({}, cls), 0.0);
+  Dataset ds;
+  ds.push_back({SpikeRaster(1, 1), 1});
+  ds.push_back({SpikeRaster(1, 1), 2});
+  EXPECT_DOUBLE_EQ(fraction_with_labels(ds, cls), 0.5);
+}
+
+}  // namespace
+}  // namespace r4ncl::data
