@@ -12,9 +12,11 @@ BenchContext make_context(int argc, char** argv) {
 
 void emit(const ResultTable& table, const std::string& name, const std::string& title) {
   table.print(title);
-  const std::string path = name + ".csv";
-  table.write_csv(path);
-  std::printf("[%s] wrote %s\n", name.c_str(), path.c_str());
+  const std::string csv_path = name + ".csv";
+  table.write_csv(csv_path);
+  const std::string json_path = name + ".json";
+  table.write_json(json_path);
+  std::printf("[%s] wrote %s and %s\n", name.c_str(), csv_path.c_str(), json_path.c_str());
 }
 
 std::string pct(double fraction) { return format_double(fraction * 100.0, 2); }

@@ -66,9 +66,15 @@ PretrainedScenario make_pretrained_scenario(const PretrainConfig& config,
                                             const std::string& cache_dir, bool use_cache,
                                             bool verbose) {
   const data::SyntheticShdGenerator generator(config.data_params);
+  // The trailing members repeat the struct defaults: -Wextra's
+  // missing-field-initializers fires on designated initializers that omit
+  // members, and the library builds with -Werror.
   PretrainedScenario scenario{
       .net = snn::SnnNetwork(config.network),
       .tasks = data::build_class_incremental(generator, config.split),
+      .pretrain_accuracy = 0.0,
+      .history = {},
+      .loaded_from_cache = false,
   };
 
   std::ostringstream path_os;

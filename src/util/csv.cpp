@@ -67,6 +67,48 @@ void ResultTable::write_csv(const std::string& path) const {
   R4NCL_CHECK(out.good(), "write failed: " << path);
 }
 
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+void ResultTable::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  R4NCL_CHECK(out.good(), "cannot open for writing: " << path);
+  out << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << "  {";
+    for (std::size_t i = 0; i < rows_[r].size() && i < header_.size(); ++i) {
+      if (i) out << ", ";
+      out << '"' << json_escape(header_[i]) << "\": \"" << json_escape(rows_[r][i]) << '"';
+    }
+    out << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  out << "]\n";
+  out.flush();
+  R4NCL_CHECK(out.good(), "write failed: " << path);
+}
+
 void ResultTable::print(const std::string& title) const {
   std::vector<std::size_t> width(header_.size());
   for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();

@@ -36,6 +36,11 @@ class ResultTable {
   /// Writes the table as CSV; throws r4ncl::Error on I/O failure.
   void write_csv(const std::string& path) const;
 
+  /// Writes the table as a JSON array of {header: cell} objects; throws
+  /// r4ncl::Error on I/O failure.  Cells stay strings (they are formatted
+  /// for the paper tables, e.g. "4.88x"), so consumers parse as needed.
+  void write_json(const std::string& path) const;
+
   /// Pretty-prints an aligned ASCII table to stdout.
   void print(const std::string& title = "") const;
 

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/logging.hpp"
 
 #if defined(R4NCL_HAVE_OPENMP)
 #include <omp.h>
@@ -17,6 +20,19 @@ std::atomic<int> g_threads{0};  // 0 = uninitialised → hardware_concurrency
 int default_threads() {
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+// The serial/std::thread fallback must never be invisible: hot paths like
+// kernels::matmul assume the OpenMP dispatch, so a build without it warns
+// exactly once.
+void warn_if_no_openmp() {
+#if !defined(R4NCL_HAVE_OPENMP)
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    R4NCL_WARN("r4ncl built without OpenMP: parallel_for uses the std::thread "
+               "fallback; rebuild with OpenMP for full matmul throughput");
+  });
+#endif
 }
 }  // namespace
 
@@ -32,10 +48,19 @@ int num_threads() noexcept {
 }
 
 void init_threads_from_env() {
+  warn_if_no_openmp();
   if (const char* env = std::getenv("R4NCL_THREADS")) {
     const int n = std::atoi(env);
     if (n > 0) set_num_threads(n);
   }
+}
+
+bool openmp_enabled() noexcept {
+#if defined(R4NCL_HAVE_OPENMP)
+  return true;
+#else
+  return false;
+#endif
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
@@ -54,6 +79,7 @@ void parallel_for(std::size_t begin, std::size_t end,
   }
 #else
   // Portable fallback: block partitioning over std::thread.
+  warn_if_no_openmp();
   const std::size_t chunk = (count + static_cast<std::size_t>(workers) - 1) /
                             static_cast<std::size_t>(workers);
   std::vector<std::thread> pool;

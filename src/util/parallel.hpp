@@ -19,6 +19,11 @@ int num_threads() noexcept;
 /// Applies R4NCL_THREADS from the environment if present.
 void init_threads_from_env();
 
+/// True when the library was compiled with OpenMP (R4NCL_HAVE_OPENMP);
+/// false means parallel_for uses the std::thread fallback and a one-time
+/// warning is logged the first time that matters.
+bool openmp_enabled() noexcept;
+
 /// Invokes body(i) for i in [begin, end).  Iterations must be independent.
 /// Small ranges (or grain hints) run serially to avoid fork overhead.
 void parallel_for(std::size_t begin, std::size_t end,

@@ -1,0 +1,32 @@
+// Guards on the build configuration itself: the library hard-requires C++20
+// (std::source_location in util/error.hpp, std::numbers in util/rng.cpp),
+// and the OpenMP state of parallel_for must be visible in test reports so a
+// silently-serial build is caught in CI, not in a bench regression.
+#include <gtest/gtest.h>
+
+#include "util/parallel.hpp"
+
+namespace r4ncl {
+namespace {
+
+TEST(BuildInfo, CompiledAsCpp20OrLater) {
+  static_assert(__cplusplus >= 202002L, "r4ncl requires C++20");
+  EXPECT_GE(__cplusplus, 202002L);
+}
+
+TEST(BuildInfo, ReportsOpenMpState) {
+  RecordProperty("openmp_enabled", openmp_enabled() ? 1 : 0);
+  if (openmp_enabled()) {
+    SUCCEED() << "parallel_for dispatches via OpenMP";
+  } else {
+    SUCCEED() << "parallel_for uses the std::thread fallback (OpenMP absent "
+                 "at build time)";
+  }
+}
+
+TEST(BuildInfo, ThreadCountIsSane) {
+  EXPECT_GE(num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace r4ncl

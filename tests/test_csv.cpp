@@ -57,6 +57,39 @@ TEST(ResultTable, WritesCsvWithEscaping) {
   std::remove(path.c_str());
 }
 
+TEST(ResultTable, WritesJsonWithEscaping) {
+  ResultTable t({"name", "note"});
+  t.row({"plain", "with,comma"});
+  t.row({"quo\"te", "back\\slash and\nnewline"});
+  const std::string path = ::testing::TempDir() + "r4ncl_json_test.json";
+  t.write_json(path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("{\"name\": \"plain\", \"note\": \"with,comma\"},"),
+            std::string::npos);
+  EXPECT_NE(content.find("\"quo\\\"te\""), std::string::npos);
+  EXPECT_NE(content.find("back\\\\slash and\\nnewline"), std::string::npos);
+  // Last row has no trailing comma and the array closes.
+  EXPECT_NE(content.find("}\n]\n"), std::string::npos);
+  EXPECT_EQ(content.find("},\n]"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ResultTable, JsonEscapesControlCharacters) {
+  ResultTable t({"k"});
+  t.row({std::string("bell\x07tab\t")});
+  const std::string path = ::testing::TempDir() + "r4ncl_json_ctrl.json";
+  t.write_json(path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("bell\\u0007tab\\t"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(ResultTable, NumericFormatting) {
   EXPECT_EQ(format_double(1.0, 2), "1.00");
   EXPECT_EQ(format_double(-0.12345, 3), "-0.123");

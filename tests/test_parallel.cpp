@@ -1,8 +1,15 @@
 // parallel_for correctness: full coverage, no double-visits, thread knobs.
 #include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "util/parallel.hpp"
 
@@ -36,6 +43,33 @@ TEST(Parallel, ThreadCountKnob) {
   EXPECT_EQ(num_threads(), 1);
   set_num_threads(2);
   EXPECT_EQ(num_threads(), 2);
+}
+
+TEST(Parallel, OpenMpBuildUsesMultipleThreads) {
+  // OpenMP honours num_threads() even on single-core hosts, so an OpenMP
+  // build must show more than one worker here; the std::thread fallback
+  // also passes, but a fully serial dispatch would not.
+  if (!openmp_enabled()) {
+    GTEST_SKIP() << "built without OpenMP; serial fallback already warned";
+  }
+#ifdef _OPENMP
+  // num_threads() on the pragma is a request, not a guarantee: a runtime
+  // capped by OMP_THREAD_LIMIT or with dynamic adjustment may deliver one
+  // thread, which is an environment limit, not a dispatch bug.
+  if (omp_get_thread_limit() < 2 || omp_get_dynamic()) {
+    GTEST_SKIP() << "OpenMP runtime caps the team at 1 thread";
+  }
+#endif
+  const int prev = num_threads();
+  set_num_threads(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  parallel_for(0, 8192, [&](std::size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  }, 1);
+  set_num_threads(prev);
+  EXPECT_GT(ids.size(), 1u);
 }
 
 TEST(Parallel, SmallGrainRunsSerial) {
