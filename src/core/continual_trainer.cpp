@@ -66,7 +66,8 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
   result.insertion_layer = config.insertion_layer;
 
   // ---- Phase 1: network preparation (Alg. 1 lines 6–20) -----------------
-  LatentReplayBuffer buffer(method.storage_codec, method.cl_timesteps);
+  LatentReplayBuffer buffer(method.storage_codec, method.cl_timesteps,
+                            method.replay_budget.with_run_seed(config.seed));
   if (method.use_replay) {
     const data::Dataset replay_rescaled =
         data::time_rescale(tasks.replay_subset, method.cl_timesteps, method.rescale);
@@ -93,6 +94,7 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
   // ---- Phase 2: NCL training (Alg. 1 lines 21–33) ------------------------
   snn::AdamOptimizer optimizer;
   Rng epoch_rng(config.seed);
+  Rng replay_rng(config.seed ^ kReplayDrawSeedSalt);
   result.rows.reserve(config.epochs);
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     Stopwatch epoch_watch;
@@ -103,9 +105,14 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
     data::Dataset mixed =
         frozen_inference(net, new_train_rescaled, config.insertion_layer, policy,
                          method.batch_size, &row.stats);
-    // A_LR from the buffer (decompression charged to this epoch).
+    // A_LR from the buffer (decompression charged to this epoch).  When the
+    // method caps its per-epoch replay appetite, only the drawn entries are
+    // decompressed — the budgeted-stream hot path.
     if (method.use_replay) {
-      data::Dataset replay = buffer.materialize(&row.stats);
+      data::Dataset replay =
+          method.replay_samples_per_epoch > 0
+              ? buffer.sample(method.replay_samples_per_epoch, replay_rng, &row.stats)
+              : buffer.materialize(&row.stats);
       mixed.insert(mixed.end(), std::make_move_iterator(replay.begin()),
                    std::make_move_iterator(replay.end()));
     }

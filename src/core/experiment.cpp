@@ -59,6 +59,16 @@ NclMethodConfig bench_replay4ncl(std::size_t timesteps) {
 
 NclMethodConfig bench_spiking_lr() { return NclMethodConfig::spiking_lr(); }
 
+void apply_replay_overrides(NclMethodConfig& method, const Config& cfg) {
+  method.replay_budget.capacity_bytes = static_cast<std::size_t>(cfg.get_int(
+      "budget", static_cast<long long>(method.replay_budget.capacity_bytes)));
+  if (const auto policy = cfg.get("policy")) {
+    method.replay_budget.policy = parse_replay_policy(*policy);
+  }
+  method.replay_samples_per_epoch = static_cast<std::size_t>(cfg.get_int(
+      "replay_samples", static_cast<long long>(method.replay_samples_per_epoch)));
+}
+
 std::string summarize(const ClRunResult& result) {
   std::ostringstream os;
   os << result.method_name << " @L" << result.insertion_layer << ": old="

@@ -39,6 +39,14 @@ PretrainedScenario standard_scenario(const Config& cfg);
 NclMethodConfig bench_replay4ncl(std::size_t timesteps = 40);
 NclMethodConfig bench_spiking_lr();
 
+/// Applies the replay-budget CLI knobs to a method config:
+///   budget=<bytes>          replay-buffer byte budget (0 = unbounded)
+///   policy=<name>           fifo | reservoir | class_balanced
+///   replay_samples=<k>      per-epoch sample(k) draw (0 = full materialize)
+/// Keys absent from `cfg` (and the R4NCL_* environment) leave the method's
+/// own defaults untouched.
+void apply_replay_overrides(NclMethodConfig& method, const Config& cfg);
+
 /// One-line human summary of a CL run (final accs + totals).
 std::string summarize(const ClRunResult& result);
 

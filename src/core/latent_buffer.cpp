@@ -1,17 +1,42 @@
 #include "core/latent_buffer.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace r4ncl::core {
 
+std::string_view to_string(ReplayPolicy policy) noexcept {
+  switch (policy) {
+    case ReplayPolicy::kFifo: return "fifo";
+    case ReplayPolicy::kReservoir: return "reservoir";
+    case ReplayPolicy::kClassBalanced: return "class_balanced";
+  }
+  return "unknown";
+}
+
+ReplayPolicy parse_replay_policy(std::string_view name) {
+  if (name == "fifo") return ReplayPolicy::kFifo;
+  if (name == "reservoir") return ReplayPolicy::kReservoir;
+  if (name == "class_balanced" || name == "balanced") return ReplayPolicy::kClassBalanced;
+  throw Error("unknown replay policy '" + std::string(name) +
+              "' (expected fifo|reservoir|class_balanced)");
+}
+
 LatentReplayBuffer::LatentReplayBuffer(const compress::CodecConfig& codec,
-                                       std::size_t activation_timesteps)
-    : codec_(codec), activation_timesteps_(activation_timesteps) {
+                                       std::size_t activation_timesteps,
+                                       const ReplayBufferConfig& budget)
+    : codec_(codec), activation_timesteps_(activation_timesteps), budget_(budget),
+      rng_(budget.seed) {
   R4NCL_CHECK(activation_timesteps > 0, "activation_timesteps must be positive");
   R4NCL_CHECK(codec.ratio >= 1, "codec ratio must be >= 1");
 }
 
-void LatentReplayBuffer::add(const data::SpikeRaster& raster, std::int32_t label) {
+std::size_t LatentReplayBuffer::entry_bytes(const Entry& e) const noexcept {
+  return compress::stored_bytes(e.packed, header_bytes());
+}
+
+bool LatentReplayBuffer::add(const data::SpikeRaster& raster, std::int32_t label) {
   R4NCL_CHECK(raster.timesteps == activation_timesteps_,
               "raster has " << raster.timesteps << " steps, buffer expects "
                             << activation_timesteps_);
@@ -25,26 +50,113 @@ void LatentReplayBuffer::add(const data::SpikeRaster& raster, std::int32_t label
   Entry entry;
   entry.packed = compress::compress_packed(raster, codec_);
   entry.label = label;
+  const std::size_t bytes = entry_bytes(entry);
+  ++stream_seen_;
+
+  const std::size_t capacity = budget_.capacity_bytes;
+  if (capacity > 0) {
+    R4NCL_CHECK(bytes <= capacity, "capacity_bytes=" << capacity
+                                                     << " cannot hold a single " << bytes
+                                                     << "-byte entry");
+    if (memory_bytes_ + bytes > capacity) {
+      switch (budget_.policy) {
+        case ReplayPolicy::kFifo:
+          while (memory_bytes_ + bytes > capacity) evict_at(0);
+          break;
+        case ReplayPolicy::kReservoir: {
+          // Algorithm R over the lifetime stream: keep the newcomer with
+          // probability size/stream_seen, displacing a uniform victim.  All
+          // entries share one geometry, so one eviction always makes room.
+          const std::uint64_t j = rng_.uniform_index(stream_seen_);
+          if (j >= entries_.size()) {
+            ++evictions_;  // the incoming entry is the one displaced
+            return false;
+          }
+          evict_at(static_cast<std::size_t>(j));
+          break;
+        }
+        case ReplayPolicy::kClassBalanced:
+          // The newcomer counts toward its class when picking the victim so
+          // a stream heavy in one class displaces its own entries, not the
+          // minority classes'.
+          while (memory_bytes_ + bytes > capacity) evict_at(balanced_victim(label));
+          break;
+      }
+    }
+  }
+
+  memory_bytes_ += bytes;
+  auto it = std::lower_bound(class_counts_.begin(), class_counts_.end(), label,
+                             [](const auto& p, std::int32_t l) { return p.first < l; });
+  if (it == class_counts_.end() || it->first != label) {
+    class_counts_.insert(it, {label, 1});
+  } else {
+    ++it->second;
+  }
   entries_.push_back(std::move(entry));
+  return true;
 }
 
-std::size_t LatentReplayBuffer::memory_bytes() const noexcept {
-  std::size_t total = 0;
-  for (const Entry& e : entries_) {
-    total += compress::stored_bytes(e.packed, header_bytes());
+void LatentReplayBuffer::evict_at(std::size_t index) {
+  const Entry& victim = entries_[index];
+  memory_bytes_ -= entry_bytes(victim);
+  auto it = std::lower_bound(class_counts_.begin(), class_counts_.end(), victim.label,
+                             [](const auto& p, std::int32_t l) { return p.first < l; });
+  if (--it->second == 0) class_counts_.erase(it);
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+  ++evictions_;
+}
+
+std::size_t LatentReplayBuffer::balanced_victim(std::int32_t incoming) const {
+  std::int32_t heaviest = 0;
+  std::size_t heaviest_count = 0;
+  for (const auto& [label, count] : class_counts_) {
+    const std::size_t effective = count + (label == incoming ? 1u : 0u);
+    if (effective > heaviest_count) {
+      heaviest = label;
+      heaviest_count = effective;
+    }
   }
-  return total;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].label == heaviest) return i;
+  }
+  throw Error("class accounting out of sync with entries");
+}
+
+std::vector<std::pair<std::int32_t, std::size_t>> LatentReplayBuffer::class_occupancy()
+    const {
+  return class_counts_;
+}
+
+data::Sample LatentReplayBuffer::decompress_entry(const Entry& e,
+                                                  snn::SpikeOpStats* stats) const {
+  if (stats != nullptr && codec_.ratio > 1) {
+    stats->decompress_bits += static_cast<std::uint64_t>(e.packed.payload_bytes()) * 8u;
+  }
+  return {compress::decompress_packed(e.packed, activation_timesteps_, codec_), e.label};
 }
 
 data::Dataset LatentReplayBuffer::materialize(snn::SpikeOpStats* stats) const {
   data::Dataset out;
   out.reserve(entries_.size());
-  for (const Entry& e : entries_) {
-    out.push_back(
-        {compress::decompress_packed(e.packed, activation_timesteps_, codec_), e.label});
-    if (stats != nullptr && codec_.ratio > 1) {
-      stats->decompress_bits += static_cast<std::uint64_t>(e.packed.payload_bytes()) * 8u;
-    }
+  for (const Entry& e : entries_) out.push_back(decompress_entry(e, stats));
+  return out;
+}
+
+data::Dataset LatentReplayBuffer::sample(std::size_t k, Rng& rng,
+                                         snn::SpikeOpStats* stats) const {
+  if (k >= entries_.size()) return materialize(stats);
+  // Partial Fisher–Yates: the first k slots of `indices` become a uniform
+  // draw without replacement; only those entries are decompressed.
+  std::vector<std::size_t> indices(entries_.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  data::Dataset out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_index(indices.size() - i));
+    std::swap(indices[i], indices[j]);
+    out.push_back(decompress_entry(entries_[indices[i]], stats));
   }
   return out;
 }

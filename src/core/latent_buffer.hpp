@@ -6,27 +6,86 @@
 // (geometry + label; codec-compressed entries additionally carry codec
 // metadata, which is why SpikingLR's per-sample overhead is slightly larger
 // — reproducing the paper's 20–21.88% savings band).
+//
+// The buffer operates under an explicit *byte budget* (ReplayBufferConfig):
+// embedded deployments give latent replay a fixed memory region, so a stream
+// of arriving classes must trigger eviction rather than growth.  Three
+// selection policies are provided (cf. Pellegrini et al., "Latent Replay for
+// Real-Time Continual Learning"; Ravaglia et al., TinyML quantized latent
+// replays):
+//   kFifo          — evict the oldest stored entries first
+//   kReservoir     — Vitter's Algorithm R: every entry of the stream is
+//                    retained with equal probability capacity/N
+//   kClassBalanced — evict the oldest entry of the most-represented class,
+//                    driving per-class occupancy toward equality
+// capacity_bytes == 0 keeps the historical unbounded behaviour.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "compress/spike_codec.hpp"
 #include "data/spike_data.hpp"
 #include "snn/layer.hpp"
+#include "util/rng.hpp"
 
 namespace r4ncl::core {
+
+/// Which stored entry gives way when an add() would exceed the byte budget.
+enum class ReplayPolicy : std::uint8_t {
+  kFifo,           // oldest entry evicted first
+  kReservoir,      // stream-uniform retention (Algorithm R)
+  kClassBalanced,  // evict oldest entry of the most-represented class
+};
+
+/// Canonical lowercase name ("fifo", "reservoir", "class_balanced").
+[[nodiscard]] std::string_view to_string(ReplayPolicy policy) noexcept;
+
+/// Inverse of to_string(); also accepts "balanced".  Throws Error on unknown
+/// names (the CLI surfaces route user input through this).
+[[nodiscard]] ReplayPolicy parse_replay_policy(std::string_view name);
+
+/// Byte budget + eviction policy of a replay buffer.
+struct ReplayBufferConfig {
+  /// Hard ceiling on memory_bytes(); 0 = unbounded (historical behaviour).
+  std::size_t capacity_bytes = 0;
+  ReplayPolicy policy = ReplayPolicy::kFifo;
+  /// Seed of the buffer's private eviction stream (reservoir draws).  Run
+  /// engines mix their run seed into this so whole runs reproduce.
+  std::uint64_t seed = 0x5eedb0ffe7ULL;
+
+  /// Copy with the run seed mixed into the eviction stream — the one
+  /// derivation both run engines use, so reservoir displacement reproduces
+  /// per run without correlating across seeds.
+  [[nodiscard]] ReplayBufferConfig with_run_seed(std::uint64_t run_seed) const noexcept {
+    ReplayBufferConfig mixed = *this;
+    mixed.seed ^= (run_seed + 1) * 0x9E3779B97F4A7C15ULL;
+    return mixed;
+  }
+};
+
+/// Salt deriving the per-run replay-draw Rng (LatentReplayBuffer::sample())
+/// from the run seed.  Shared by both run engines; the default
+/// full-materialize path never consumes from that stream, so legacy runs
+/// stay bit-identical.
+inline constexpr std::uint64_t kReplayDrawSeedSalt = 0xA11CE5EEDBEEFULL;
 
 class LatentReplayBuffer {
  public:
   /// `activation_timesteps` is the timestep length of the rasters handed to
   /// add() (and returned by materialize()); the codec may store fewer.
-  LatentReplayBuffer(const compress::CodecConfig& codec, std::size_t activation_timesteps);
+  LatentReplayBuffer(const compress::CodecConfig& codec, std::size_t activation_timesteps,
+                     const ReplayBufferConfig& budget = {});
 
-  /// Compresses and stores one latent activation raster.  All rasters in a
-  /// buffer must share the channel width (the insertion-layer width); the
-  /// first add() fixes it.
-  void add(const data::SpikeRaster& raster, std::int32_t label);
+  /// Compresses and stores one latent activation raster, evicting per the
+  /// configured policy when the byte budget would be exceeded.  All rasters
+  /// in a buffer must share the channel width (the insertion-layer width);
+  /// the first add() fixes it.  Returns false when the policy chose to drop
+  /// the *incoming* entry instead (reservoir rejection); memory_bytes() <=
+  /// capacity_bytes holds on return either way.
+  bool add(const data::SpikeRaster& raster, std::int32_t label);
 
   /// Channel width of the stored activations (0 while empty).
   [[nodiscard]] std::size_t channels() const noexcept { return channels_; }
@@ -37,14 +96,33 @@ class LatentReplayBuffer {
     return activation_timesteps_;
   }
   [[nodiscard]] const compress::CodecConfig& codec() const noexcept { return codec_; }
+  [[nodiscard]] const ReplayBufferConfig& budget() const noexcept { return budget_; }
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept { return budget_.capacity_bytes; }
+
+  /// Entries offered to add() over the buffer's lifetime.
+  [[nodiscard]] std::size_t stream_seen() const noexcept { return stream_seen_; }
+  /// Entries displaced by the budget (stored entries evicted + incoming
+  /// entries the reservoir rejected).
+  [[nodiscard]] std::size_t evictions() const noexcept { return evictions_; }
+
+  /// Occupancy per class, sorted by label ascending; counts sum to size().
+  [[nodiscard]] std::vector<std::pair<std::int32_t, std::size_t>> class_occupancy() const;
 
   /// Total storage footprint in bytes (payload + per-sample headers).
-  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+  /// Maintained incrementally, so the budget check in add() is O(1).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept { return memory_bytes_; }
 
   /// Decompresses the whole buffer into a replay dataset (A_LR in Alg. 1).
   /// When `stats` is non-null the codec work is charged as decompress_bits
   /// (zero when the codec ratio is 1, i.e. raw storage).
   [[nodiscard]] data::Dataset materialize(snn::SpikeOpStats* stats = nullptr) const;
+
+  /// Uniformly draws min(k, size()) distinct entries and decompresses only
+  /// those — the per-epoch hot path when the buffer is larger than one
+  /// epoch's replay appetite.  decompress_bits is charged for the drawn
+  /// entries only, proportional to what is actually decompressed.
+  [[nodiscard]] data::Dataset sample(std::size_t k, Rng& rng,
+                                     snn::SpikeOpStats* stats = nullptr) const;
 
   /// Per-sample header bytes: raster geometry (2×u32) + label (i32) +
   /// buffer-entry bookkeeping (u32) = 16; codec entries add ratio/strategy/
@@ -58,10 +136,28 @@ class LatentReplayBuffer {
     compress::PackedRaster packed;
     std::int32_t label = 0;
   };
+
+  [[nodiscard]] std::size_t entry_bytes(const Entry& e) const noexcept;
+  [[nodiscard]] data::Sample decompress_entry(const Entry& e,
+                                              snn::SpikeOpStats* stats) const;
+  /// Removes entries_[index], maintaining the byte and class accounting.
+  void evict_at(std::size_t index);
+  /// Index of the oldest stored entry of the most-represented class (the
+  /// incoming label counts toward its class; ties go to the smallest label)
+  /// — the kClassBalanced victim.
+  [[nodiscard]] std::size_t balanced_victim(std::int32_t incoming) const;
+
   compress::CodecConfig codec_;
   std::size_t activation_timesteps_;
+  ReplayBufferConfig budget_;
+  Rng rng_;
   std::size_t channels_ = 0;
+  std::size_t memory_bytes_ = 0;
+  std::size_t stream_seen_ = 0;
+  std::size_t evictions_ = 0;
   std::vector<Entry> entries_;
+  /// Parallel per-class counts (label → stored entries), kept sorted.
+  std::vector<std::pair<std::int32_t, std::size_t>> class_counts_;
 };
 
 }  // namespace r4ncl::core

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "compress/spike_codec.hpp"
+#include "core/latent_buffer.hpp"
 #include "data/spike_data.hpp"
 #include "snn/network.hpp"
 
@@ -43,6 +44,16 @@ struct NclMethodConfig {
   data::TimeRescaleMethod rescale = data::TimeRescaleMethod::kGroupOr;
   /// Latent replay on/off (off = naive fine-tuning baseline).
   bool use_replay = true;
+  /// Byte budget + eviction policy of the replay buffer (capacity 0 keeps
+  /// the unbounded behaviour of the paper's single-task experiment).  The
+  /// run engines mix the run seed into replay_budget.seed so reservoir
+  /// eviction reproduces per run.
+  ReplayBufferConfig replay_budget{};
+  /// Replay entries decompressed per CL epoch via LatentReplayBuffer::
+  /// sample(); 0 = materialize() the whole buffer every epoch.  Sampling
+  /// bounds the per-epoch decompression + training cost when the buffer is
+  /// large (the budgeted-stream hot path).
+  std::size_t replay_samples_per_epoch = 0;
   std::size_t batch_size = 16;
 
   /// Builds the ThresholdPolicy implied by this method.

@@ -55,7 +55,8 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
   result.method_name = method.name;
 
   // Base-class latents seed the buffer (Alg. 1 network preparation).
-  LatentReplayBuffer buffer(method.storage_codec, method.cl_timesteps);
+  LatentReplayBuffer buffer(method.storage_codec, method.cl_timesteps,
+                            method.replay_budget.with_run_seed(config.seed));
   snn::SpikeOpStats prep_stats;
   {
     const data::Dataset rescaled =
@@ -69,6 +70,7 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
   result.total_energy_uj += energy_model.energy_uj(prep_stats);
 
   Rng seed_rng(config.seed);
+  Rng replay_rng(config.seed ^ kReplayDrawSeedSalt);
   for (std::size_t task = 0; task < tasks.task_classes.size(); ++task) {
     SequentialTaskRow row;
     row.task_index = task;
@@ -83,7 +85,10 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
     for (std::size_t epoch = 0; epoch < config.epochs_per_task; ++epoch) {
       data::Dataset mixed = to_latents(net, new_rescaled, config.insertion_layer, policy,
                                        method.batch_size, &task_stats);
-      data::Dataset replay = buffer.materialize(&task_stats);
+      data::Dataset replay =
+          method.replay_samples_per_epoch > 0
+              ? buffer.sample(method.replay_samples_per_epoch, replay_rng, &task_stats)
+              : buffer.materialize(&task_stats);
       mixed.insert(mixed.end(), std::make_move_iterator(replay.begin()),
                    std::make_move_iterator(replay.end()));
       snn::TrainOptions opts;
@@ -108,6 +113,8 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
       }
     }
     row.latent_memory_bytes = buffer.memory_bytes();
+    row.buffer_entries = buffer.size();
+    row.buffer_evictions = buffer.evictions();
     row.latency_ms = latency_model.latency_ms(task_stats);
     row.energy_uj = energy_model.energy_uj(task_stats);
     result.total_latency_ms += row.latency_ms;

@@ -42,6 +42,10 @@ struct SequentialTaskRow {
   double acc_current = 0.0;
   /// Replay-buffer footprint after recording this task's latents.
   std::size_t latent_memory_bytes = 0;
+  /// Stored replay entries / cumulative budget evictions after this task
+  /// (evictions stay 0 on unbounded runs).
+  std::size_t buffer_entries = 0;
+  std::size_t buffer_evictions = 0;
   double latency_ms = 0.0;  // modelled cost of this task's CL phase
   double energy_uj = 0.0;
 };
