@@ -3,11 +3,21 @@
 // The paper's Fig. 12 treats latent memory as the scarce on-device resource
 // but lets the buffer grow with the stream; here the buffer gets a *fixed*
 // capacity and an eviction policy, the deployment reality of embedded latent
-// replay (Pellegrini et al.; Ravaglia et al.).  A sequential class stream
-// runs once unbounded to establish the footprint and the accuracy ceiling,
-// then once per (budget fraction × policy) cell.  Reported per cell: final
-// buffer bytes, evictions, mean stream accuracy, accuracy drop vs the
-// unbounded run, and modelled latency.
+// replay (Pellegrini et al.; Ravaglia et al.).  Two sweeps share one table:
+//
+// 1. budget × policy (legacy storage): a sequential class stream runs once
+//    unbounded per method to establish the footprint and accuracy ceiling,
+//    then once per (budget fraction × policy) cell for Replay4NCL.
+// 2. codec × latent_bits: both methods — Replay4NCL (raw T* = 40 storage)
+//    and SpikingLR (ratio-2 codec at T = 100) — run under one *fixed* byte
+//    capacity at stored depths 0 (legacy binary), 8, 4 and 2 bits/element.
+//    The capacity is sized so the 8-bit configuration is budget-starved;
+//    halving the depth must roughly double the resident entries (the
+//    Ravaglia et al. effect the quantized payload path exists for).
+//
+// Reported per cell: final buffer bytes, resident entries, evictions, mean
+// stream accuracy, accuracy drop vs that method's unbounded run, and
+// modelled latency.
 //
 // Extra knobs on top of the common ones (key=value or R4NCL_<KEY>):
 //   tasks=4            stream length (arriving classes)
@@ -16,7 +26,11 @@
 //                      task default — leaves stream classes too thin to
 //                      retain, which would drown the policy deltas in noise)
 //   replay_samples=0   per-epoch sample(k) draw (0 = full materialize)
-// budget=/policy= are NOT honoured here — the sweep itself owns those axes.
+//   spiking_lr=1       include the SpikingLR codec path in the bits sweep
+// budget=/policy=/latent_bits= are NOT honoured here — the sweep itself owns
+// those axes.
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
@@ -25,6 +39,20 @@
 #include "util/parallel.hpp"
 
 using namespace r4ncl;
+
+namespace {
+
+/// Stored bytes of one latent entry of the given geometry under `codec` —
+/// all entries of a stream share the insertion-layer geometry, so one probe
+/// add() prices the whole buffer.
+std::size_t probe_entry_bytes(const compress::CodecConfig& codec, std::size_t timesteps,
+                              std::size_t channels) {
+  core::LatentReplayBuffer probe(codec, timesteps);
+  probe.add(data::SpikeRaster(timesteps, channels), 0);
+  return probe.memory_bytes();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Config cfg = Config::from_args(argc, argv);
@@ -51,8 +79,8 @@ int main(int argc, char** argv) {
 
   core::SequentialRunConfig run;
   run.method = core::bench_replay4ncl();
-  // The sweep owns budget/policy, so of the replay CLI knobs only the
-  // per-epoch draw applies here (budget=/policy= work on budget_stream).
+  // The sweep owns budget/policy/latent_bits, so of the replay CLI knobs only
+  // the per-epoch draw applies here (the others work on budget_stream).
   run.method.replay_samples_per_epoch =
       static_cast<std::size_t>(cfg.get_int("replay_samples", 0));
   run.insertion_layer = 2;
@@ -60,34 +88,47 @@ int main(int argc, char** argv) {
   run.replay_per_new_class =
       static_cast<std::size_t>(cfg.get_int("replay_per_task", 8));
 
-  const auto run_stream = [&](std::size_t capacity, core::ReplayPolicy policy) {
+  const auto run_stream = [&](const core::NclMethodConfig& method, std::size_t capacity,
+                              core::ReplayPolicy policy) {
     snn::SnnNetwork net = pretrained.clone();
     core::SequentialRunConfig bounded = run;
+    bounded.method = method;
+    bounded.method.replay_samples_per_epoch = run.method.replay_samples_per_epoch;
     bounded.method.replay_budget.capacity_bytes = capacity;
     bounded.method.replay_budget.policy = policy;
     return core::run_sequential(net, tasks, bounded);
   };
 
-  // Unbounded reference: footprint ceiling + accuracy ceiling.
+  ResultTable table({"method", "latent_bits", "budget_frac", "budget_bytes", "policy",
+                     "final_bytes", "entries", "evictions", "acc_base", "acc_learned",
+                     "delta_vs_unbounded", "latency_ms"});
+  const auto add_row = [&](const core::NclMethodConfig& method, const std::string& frac,
+                           std::size_t capacity, std::string_view policy,
+                           const core::SequentialRunResult& res, double reference_acc) {
+    const auto& last = res.rows.back();
+    table.add_row();
+    table.push(method.name);
+    table.push(static_cast<long long>(method.storage_codec.latent_bits));
+    table.push(frac);
+    table.push(static_cast<long long>(capacity));
+    table.push(std::string(policy));
+    table.push(static_cast<long long>(last.latent_memory_bytes));
+    table.push(static_cast<long long>(last.buffer_entries));
+    table.push(static_cast<long long>(last.buffer_evictions));
+    table.push(bench::pct(last.acc_base));
+    table.push(bench::pct(last.acc_learned));
+    table.push(bench::pct(last.acc_learned - reference_acc));
+    table.push(format_double(res.total_latency_ms, 1));
+  };
+
+  // ---- Sweep 1: budget × policy (legacy storage, Replay4NCL) --------------
   const core::SequentialRunResult unbounded =
-      run_stream(0, core::ReplayPolicy::kFifo);
+      run_stream(run.method, 0, core::ReplayPolicy::kFifo);
   const std::size_t full_bytes = unbounded.rows.back().latent_memory_bytes;
   const double full_acc = unbounded.rows.back().acc_learned;
   R4NCL_INFO("unbounded stream: " << full_bytes << " B, acc_learned "
                                   << bench::pct(full_acc) << "%");
-
-  ResultTable table({"budget_frac", "budget_bytes", "policy", "final_bytes", "evictions",
-                     "acc_base", "acc_learned", "delta_vs_unbounded", "latency_ms"});
-  table.add_row();
-  table.push("1.00");
-  table.push(static_cast<long long>(0));
-  table.push("unbounded");
-  table.push(static_cast<long long>(full_bytes));
-  table.push(static_cast<long long>(0));
-  table.push(bench::pct(unbounded.rows.back().acc_base));
-  table.push(bench::pct(full_acc));
-  table.push("0.00");
-  table.push(format_double(unbounded.total_latency_ms, 1));
+  add_row(run.method, "1.00", 0, "unbounded", unbounded, full_acc);
 
   const double fractions[] = {0.75, 0.5, 0.25};
   const core::ReplayPolicy policies[] = {core::ReplayPolicy::kFifo,
@@ -97,22 +138,52 @@ int main(int argc, char** argv) {
     const std::size_t capacity =
         static_cast<std::size_t>(static_cast<double>(full_bytes) * frac);
     for (const core::ReplayPolicy policy : policies) {
-      const core::SequentialRunResult res = run_stream(capacity, policy);
-      const auto& last = res.rows.back();
-      table.add_row();
-      table.push(format_double(frac, 2));
-      table.push(static_cast<long long>(capacity));
-      table.push(std::string(core::to_string(policy)));
-      table.push(static_cast<long long>(last.latent_memory_bytes));
-      table.push(static_cast<long long>(last.buffer_evictions));
-      table.push(bench::pct(last.acc_base));
-      table.push(bench::pct(last.acc_learned));
-      table.push(bench::pct(last.acc_learned - full_acc));
-      table.push(format_double(res.total_latency_ms, 1));
+      const core::SequentialRunResult res = run_stream(run.method, capacity, policy);
+      add_row(run.method, format_double(frac, 2), capacity, core::to_string(policy), res,
+              full_acc);
     }
   }
+
+  // ---- Sweep 2: codec × latent_bits at one fixed capacity -----------------
+  // Capacity per method: a quarter of the stream's total 8-bit demand, so
+  // the 8-bit run is hard-starved and every halving of the depth shows up as
+  // ~2x resident entries.  Reservoir keeps retention stream-uniform, so the
+  // entry count — not selection luck — drives the accuracy delta.
+  const std::size_t stream_entries =
+      tasks.replay_subset.size() + num_tasks * run.replay_per_new_class;
+  std::vector<core::NclMethodConfig> codec_methods = {core::bench_replay4ncl()};
+  if (cfg.get_bool("spiking_lr", true)) codec_methods.push_back(core::bench_spiking_lr());
+  const std::uint8_t depths[] = {0, 8, 4, 2};
+  for (const core::NclMethodConfig& base : codec_methods) {
+    const std::size_t width = pc.network.layer_sizes[run.insertion_layer];
+    const std::size_t entry8 = probe_entry_bytes(
+        base.with_latent_bits(8).storage_codec, base.cl_timesteps, width);
+    const std::size_t capacity = entry8 * (stream_entries / 4);
+    std::optional<core::SequentialRunResult> method_ref;
+    double reference_acc = full_acc;
+    if (base.name != run.method.name) {
+      method_ref = run_stream(base, 0, core::ReplayPolicy::kFifo);
+      reference_acc = method_ref->rows.back().acc_learned;
+      add_row(base, "1.00", 0, "unbounded", *method_ref, reference_acc);
+    }
+    for (const std::uint8_t bits : depths) {
+      const core::NclMethodConfig method = base.with_latent_bits(bits);
+      if (bits == 0) {
+        // The legacy binary payload is ~1/8 the 8-bit entry size, so this
+        // capacity never evicts at depth 0 and the run would reproduce the
+        // unbounded reference exactly — reuse it instead of retraining.
+        add_row(method, "quant", capacity, "reservoir",
+                method_ref ? *method_ref : unbounded, reference_acc);
+        continue;
+      }
+      const core::SequentialRunResult res =
+          run_stream(method, capacity, core::ReplayPolicy::kReservoir);
+      add_row(method, "quant", capacity, "reservoir", res, reference_acc);
+    }
+  }
+
   bench::emit(table, "ext_memory_budget",
-              "Extension: capacity-bounded latent replay (LR layer 2) — budget x "
-              "policy sweep over a sequential class stream");
+              "Extension: capacity-bounded latent replay (LR layer 2) — budget x policy "
+              "sweep plus codec x latent_bits sweep over a sequential class stream");
   return 0;
 }

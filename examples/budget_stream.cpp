@@ -12,6 +12,7 @@
 // Run:  ./budget_stream                             (defaults: 6 tasks, reservoir)
 //       ./budget_stream tasks=8 policy=fifo
 //       ./budget_stream budget=4096 policy=class_balanced epochs=4
+//       ./budget_stream latent_bits=2 tasks=8       (sub-byte quantized latents)
 #include <cstdio>
 
 #include "core/experiment.hpp"
@@ -68,8 +69,14 @@ int main(int argc, char** argv) {
         entry * (tasks.replay_subset.size() + 3 * run.replay_per_new_class);
   }
   const std::size_t budget = run.method.replay_budget.capacity_bytes;
-  std::printf("replay budget: %zu bytes, policy %s\n\n", budget,
-              std::string(core::to_string(policy)).c_str());
+  if (run.method.storage_codec.quantized()) {
+    std::printf("replay budget: %zu bytes, policy %s, latents quantized to %d bits\n\n",
+                budget, std::string(core::to_string(policy)).c_str(),
+                int(run.method.storage_codec.latent_bits));
+  } else {
+    std::printf("replay budget: %zu bytes, policy %s, legacy binary latents\n\n", budget,
+                std::string(core::to_string(policy)).c_str());
+  }
 
   const core::SequentialRunResult res = core::run_sequential(net, tasks, run);
   std::printf("task class  mem[B]/budget  entries evicted  acc_base acc_stream\n");

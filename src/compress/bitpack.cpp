@@ -21,6 +21,9 @@ PackedRaster pack(const data::SpikeRaster& raster) {
 }
 
 data::SpikeRaster unpack(const PackedRaster& packed) {
+  R4NCL_CHECK(packed.bits_per_element == 1,
+              "unpack() decodes binary payloads; this raster stores "
+                  << int(packed.bits_per_element) << " bits/element");
   data::SpikeRaster out(packed.timesteps, packed.channels);
   const std::size_t row_bytes = packed.row_bytes();
   R4NCL_CHECK(packed.payload.size() == packed.timesteps * row_bytes,
@@ -30,6 +33,53 @@ data::SpikeRaster unpack(const PackedRaster& packed) {
     std::uint8_t* dst = out.bits.data() + t * packed.channels;
     for (std::size_t c = 0; c < packed.channels; ++c) {
       dst[c] = (row[c >> 3] >> (c & 7u)) & 1u;
+    }
+  }
+  return out;
+}
+
+PackedRaster pack_elements(std::span<const std::uint8_t> values, std::size_t timesteps,
+                           std::size_t channels, unsigned bits) {
+  R4NCL_CHECK(valid_payload_bits(bits), "bits_per_element must be 1/2/4/8, got " << bits);
+  R4NCL_CHECK(values.size() == timesteps * channels,
+              "pack_elements: " << values.size() << " values for a " << timesteps << "x"
+                                << channels << " raster");
+  PackedRaster out;
+  out.timesteps = static_cast<std::uint32_t>(timesteps);
+  out.channels = static_cast<std::uint32_t>(channels);
+  out.bits_per_element = static_cast<std::uint8_t>(bits);
+  const std::size_t row_bytes = out.row_bytes();
+  const unsigned mask = (1u << bits) - 1u;
+  out.payload.assign(timesteps * row_bytes, 0);
+  for (std::size_t t = 0; t < timesteps; ++t) {
+    std::uint8_t* row = out.payload.data() + t * row_bytes;
+    const std::uint8_t* src = values.data() + t * channels;
+    for (std::size_t c = 0; c < channels; ++c) {
+      R4NCL_CHECK(src[c] <= mask, "element value " << int(src[c]) << " exceeds " << bits
+                                                   << "-bit range");
+      const std::size_t bit_pos = c * bits;
+      row[bit_pos >> 3] |=
+          static_cast<std::uint8_t>(static_cast<unsigned>(src[c]) << (bit_pos & 7u));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> unpack_elements(const PackedRaster& packed) {
+  R4NCL_CHECK(valid_payload_bits(packed.bits_per_element),
+              "bits_per_element must be 1/2/4/8, got " << int(packed.bits_per_element));
+  const std::size_t row_bytes = packed.row_bytes();
+  R4NCL_CHECK(packed.payload.size() == packed.timesteps * row_bytes,
+              "packed payload size mismatch");
+  const unsigned bits = packed.bits_per_element;
+  const unsigned mask = (1u << bits) - 1u;
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(packed.timesteps) * packed.channels);
+  for (std::size_t t = 0; t < packed.timesteps; ++t) {
+    const std::uint8_t* row = packed.payload.data() + t * row_bytes;
+    std::uint8_t* dst = out.data() + t * packed.channels;
+    for (std::size_t c = 0; c < packed.channels; ++c) {
+      const std::size_t bit_pos = c * bits;
+      dst[c] = static_cast<std::uint8_t>((row[bit_pos >> 3] >> (bit_pos & 7u)) & mask);
     }
   }
   return out;

@@ -1,27 +1,44 @@
 // Bit-packing of spike rasters for latent-memory accounting and storage.
 //
-// A raster is stored as one bit per (timestep × channel) cell, padded to a
-// whole byte per *timestep row* — the layout a DMA engine would use to stream
-// one timestep at a time into a neuromorphic core.  The byte-per-row padding
-// is also what makes the paper's latent-memory savings land in the
-// 20–21.88% band instead of exactly 20% (see DESIGN.md §5).
+// A raster is stored as `bits_per_element` bits per (timestep × channel)
+// cell, padded to a whole byte per *timestep row* — the layout a DMA engine
+// would use to stream one timestep at a time into a neuromorphic core.  The
+// historical binary path is bits_per_element = 1; the quantized latent-replay
+// path (Ravaglia et al.) stores sub-byte group-count codes at 2/4/8 bits per
+// element through the same container.  The byte-per-row padding is also what
+// makes the paper's latent-memory savings land in the 20–21.88% band instead
+// of exactly 20% (see DESIGN.md §5).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "data/spike_data.hpp"
 
 namespace r4ncl::compress {
 
+/// Bit depths a packed payload may use: a whole number of elements per byte,
+/// so no element straddles a byte boundary.
+[[nodiscard]] constexpr bool valid_payload_bits(unsigned bits) noexcept {
+  return bits == 1 || bits == 2 || bits == 4 || bits == 8;
+}
+
 /// A bit-packed raster plus its geometry.
 struct PackedRaster {
   std::uint32_t timesteps = 0;
   std::uint32_t channels = 0;
+  /// Stored bits per (timestep × channel) element: 1 (binary, the historical
+  /// layout) or 2/4/8 (quantized payload).  Elements are packed LSB-first
+  /// within each byte.
+  std::uint8_t bits_per_element = 1;
   std::vector<std::uint8_t> payload;
 
-  /// Bytes needed per timestep row (channels bits, byte-padded).
-  [[nodiscard]] std::size_t row_bytes() const noexcept { return (channels + 7u) / 8u; }
+  /// Bytes needed per timestep row (channels × bits_per_element bits,
+  /// byte-padded).
+  [[nodiscard]] std::size_t row_bytes() const noexcept {
+    return (static_cast<std::size_t>(channels) * bits_per_element + 7u) / 8u;
+  }
 
   /// Total payload bytes.
   [[nodiscard]] std::size_t payload_bytes() const noexcept { return payload.size(); }
@@ -30,8 +47,18 @@ struct PackedRaster {
 /// Packs a binary raster (1 bit per cell, row-padded to bytes).
 PackedRaster pack(const data::SpikeRaster& raster);
 
-/// Unpacks back to a dense raster; exact inverse of pack().
+/// Unpacks back to a dense raster; exact inverse of pack().  Requires
+/// bits_per_element == 1 (quantized payloads decode via unpack_elements()).
 data::SpikeRaster unpack(const PackedRaster& packed);
+
+/// Packs per-cell element values (row-major, each < 2^bits) at `bits` bits
+/// per element.  Exact inverse of unpack_elements() — no quantization happens
+/// here; callers reduce values to the target range first.
+PackedRaster pack_elements(std::span<const std::uint8_t> values, std::size_t timesteps,
+                           std::size_t channels, unsigned bits);
+
+/// Element values of a packed raster at any bits_per_element, row-major.
+std::vector<std::uint8_t> unpack_elements(const PackedRaster& packed);
 
 /// Storage bytes for a packed raster including the fixed per-sample header
 /// (geometry + label + codec metadata) a replay buffer must keep.

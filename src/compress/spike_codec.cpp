@@ -1,10 +1,44 @@
 #include "compress/spike_codec.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace r4ncl::compress {
 
+namespace {
+
+void check_quantized_config(const CodecConfig& config) {
+  R4NCL_CHECK(valid_payload_bits(config.latent_bits),
+              "latent_bits must be 1/2/4/8, got " << int(config.latent_bits));
+  R4NCL_CHECK(config.ratio >= 1, "codec ratio must be >= 1");
+  R4NCL_CHECK(config.ratio <= 255, "quantized codec supports ratio <= 255, got "
+                                       << config.ratio);
+}
+
+}  // namespace
+
+std::uint32_t quantize_count(std::uint32_t count, std::uint32_t ratio, unsigned bits) {
+  R4NCL_CHECK(valid_payload_bits(bits), "latent_bits must be 1/2/4/8, got " << bits);
+  R4NCL_CHECK(ratio >= 1 && count <= ratio,
+              "count " << count << " outside [0, ratio=" << ratio << "]");
+  const std::uint32_t levels = (1u << bits) - 1u;
+  // round(count * levels / ratio), half up, in exact integer arithmetic.
+  return (2u * count * levels + ratio) / (2u * ratio);
+}
+
+std::uint32_t dequantize_count(std::uint32_t level, std::uint32_t ratio, unsigned bits) {
+  R4NCL_CHECK(valid_payload_bits(bits), "latent_bits must be 1/2/4/8, got " << bits);
+  const std::uint32_t levels = (1u << bits) - 1u;
+  R4NCL_CHECK(ratio >= 1 && level <= levels,
+              "level " << level << " outside [0, " << levels << "]");
+  // round(level * ratio / levels), half up.
+  return (2u * level * ratio + levels) / (2u * levels);
+}
+
 data::SpikeRaster compress(const data::SpikeRaster& raster, const CodecConfig& config) {
+  R4NCL_CHECK(!config.quantized(),
+              "quantized codecs compress packed-side (compress_packed)");
   R4NCL_CHECK(config.ratio >= 1, "codec ratio must be >= 1");
   if (config.ratio == 1) return raster;
   const std::size_t T = raster.timesteps;
@@ -40,6 +74,8 @@ data::SpikeRaster compress(const data::SpikeRaster& raster, const CodecConfig& c
 
 data::SpikeRaster decompress(const data::SpikeRaster& compressed,
                              std::size_t original_timesteps, const CodecConfig& config) {
+  R4NCL_CHECK(!config.quantized(),
+              "quantized codecs decompress packed-side (decompress_packed)");
   R4NCL_CHECK(config.ratio >= 1, "codec ratio must be >= 1");
   if (config.ratio == 1) return compressed;
   const std::size_t expected = (original_timesteps + config.ratio - 1) / config.ratio;
@@ -58,20 +94,64 @@ data::SpikeRaster decompress(const data::SpikeRaster& compressed,
 }
 
 PackedRaster compress_packed(const data::SpikeRaster& raster, const CodecConfig& config) {
-  return pack(compress(raster, config));
+  if (!config.quantized()) return pack(compress(raster, config));
+  check_quantized_config(config);
+  const std::size_t T = raster.timesteps;
+  const std::size_t C = raster.channels;
+  const std::size_t Tc = (T + config.ratio - 1) / config.ratio;
+  std::vector<std::uint8_t> levels(Tc * C);
+  for (std::size_t tc = 0; tc < Tc; ++tc) {
+    const std::size_t lo = tc * config.ratio;
+    const std::size_t hi = std::min<std::size_t>(lo + config.ratio, T);
+    for (std::size_t c = 0; c < C; ++c) {
+      std::uint32_t count = 0;
+      for (std::size_t t = lo; t < hi; ++t) count += raster.bits[t * C + c];
+      levels[tc * C + c] = static_cast<std::uint8_t>(
+          quantize_count(count, config.ratio, config.latent_bits));
+    }
+  }
+  return pack_elements(levels, Tc, C, config.latent_bits);
 }
 
 data::SpikeRaster decompress_packed(const PackedRaster& packed,
                                     std::size_t original_timesteps,
                                     const CodecConfig& config) {
-  return decompress(unpack(packed), original_timesteps, config);
+  if (!config.quantized()) return decompress(unpack(packed), original_timesteps, config);
+  check_quantized_config(config);
+  R4NCL_CHECK(packed.bits_per_element == config.latent_bits,
+              "payload stores " << int(packed.bits_per_element)
+                                << " bits/element, codec expects "
+                                << int(config.latent_bits));
+  const std::size_t expected =
+      (original_timesteps + config.ratio - 1) / config.ratio;
+  R4NCL_CHECK(packed.timesteps == expected,
+              "quantized payload has " << packed.timesteps << " groups, expected "
+                                       << expected);
+  const std::vector<std::uint8_t> levels = unpack_elements(packed);
+  const std::size_t C = packed.channels;
+  data::SpikeRaster out(original_timesteps, C);
+  for (std::size_t tc = 0; tc < packed.timesteps; ++tc) {
+    const std::size_t lo = tc * config.ratio;
+    const std::size_t hi = std::min<std::size_t>(lo + config.ratio, original_timesteps);
+    for (std::size_t c = 0; c < C; ++c) {
+      // Reconstructed spikes fill the group's leading slots (the quantized
+      // generalisation of Fig. 7's group-start convention).
+      const std::uint32_t count = std::min<std::uint32_t>(
+          dequantize_count(levels[tc * C + c], config.ratio, config.latent_bits),
+          static_cast<std::uint32_t>(hi - lo));
+      for (std::uint32_t k = 0; k < count; ++k) out.bits[(lo + k) * C + c] = 1;
+    }
+  }
+  return out;
 }
 
 double spike_retention(const data::SpikeRaster& original, const CodecConfig& config) {
   const std::size_t before = original.spike_count();
   if (before == 0) return 1.0;
   const data::SpikeRaster round =
-      decompress(compress(original, config), original.timesteps, config);
+      config.quantized()
+          ? decompress_packed(compress_packed(original, config), original.timesteps, config)
+          : decompress(compress(original, config), original.timesteps, config);
   return static_cast<double>(round.spike_count()) / static_cast<double>(before);
 }
 

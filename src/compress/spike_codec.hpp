@@ -10,6 +10,15 @@
 // Two additional strategies are provided for the ablation bench:
 //   kGroupOr        — compressed bit = OR of the group (keeps bursts alive)
 //   kGroupMajority  — compressed bit = majority vote of the group
+//
+// Quantized payload path (latent_bits > 0; Ravaglia et al., quantized latent
+// replays): instead of collapsing each group to one strategy bit, the codec
+// stores the group's *spike count* as a latent_bits-wide code (uniform
+// quantizer over [0, ratio], deterministic round-half-up) and reconstructs
+// that many spikes at the group's leading slots.  8 bits is exact for any
+// ratio <= 255; narrower codes trade bounded count error (half an LSB plus
+// integer rounding) for proportionally smaller payloads — the knob that
+// stretches a fixed replay byte budget (see tests/test_quantized_latents.cpp).
 #pragma once
 
 #include <cstdint>
@@ -30,9 +39,28 @@ enum class CodecStrategy : std::uint8_t {
 struct CodecConfig {
   std::uint32_t ratio = 2;  // source timesteps per compressed bit
   CodecStrategy strategy = CodecStrategy::kSubsample;
+  /// Stored bits per (group × channel) element: 0 keeps the historical
+  /// binary strategy path bit-identical; 1/2/4/8 switches to the quantized
+  /// group-count payload (which supersedes `strategy`).
+  std::uint8_t latent_bits = 0;
+
+  [[nodiscard]] bool quantized() const noexcept { return latent_bits > 0; }
 };
 
-/// Compresses along time: output has ceil(T / ratio) timesteps.
+/// Quantizes a group spike count (<= ratio) to a latent_bits-wide level:
+/// uniform over [0, ratio], round half up.  Exact when 2^bits - 1 >= ratio.
+[[nodiscard]] std::uint32_t quantize_count(std::uint32_t count, std::uint32_t ratio,
+                                           unsigned bits);
+
+/// Reconstructed count for a level (round half up); inverse of
+/// quantize_count() whenever the quantizer is exact, and a fixed point of
+/// quantize∘dequantize at every depth.
+[[nodiscard]] std::uint32_t dequantize_count(std::uint32_t level, std::uint32_t ratio,
+                                             unsigned bits);
+
+/// Compresses along time: output has ceil(T / ratio) timesteps.  Binary
+/// strategy path only (quantized payloads exist packed-side, where counts
+/// wider than one bit can be represented).
 data::SpikeRaster compress(const data::SpikeRaster& raster, const CodecConfig& config);
 
 /// Decompresses to `original_timesteps` steps: each compressed bit is placed
@@ -41,9 +69,12 @@ data::SpikeRaster decompress(const data::SpikeRaster& compressed,
                              std::size_t original_timesteps, const CodecConfig& config);
 
 /// Compress + bit-pack in one step (what the latent-replay buffer stores).
+/// Quantized configs produce a bits_per_element = latent_bits payload of
+/// group-count codes; legacy configs produce the historical binary payload.
 PackedRaster compress_packed(const data::SpikeRaster& raster, const CodecConfig& config);
 
-/// Unpack + decompress in one step.
+/// Unpack + decompress in one step.  Quantized payloads re-emit each group's
+/// reconstructed spike count at the group's leading slots.
 data::SpikeRaster decompress_packed(const PackedRaster& packed,
                                     std::size_t original_timesteps,
                                     const CodecConfig& config);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 
@@ -67,6 +68,12 @@ void apply_replay_overrides(NclMethodConfig& method, const Config& cfg) {
   }
   method.replay_samples_per_epoch = static_cast<std::size_t>(cfg.get_int(
       "replay_samples", static_cast<long long>(method.replay_samples_per_epoch)));
+  const long long bits = cfg.get_int(
+      "latent_bits", static_cast<long long>(method.storage_codec.latent_bits));
+  R4NCL_CHECK(bits == 0 || (bits > 0 && bits <= 8 &&
+                            compress::valid_payload_bits(static_cast<unsigned>(bits))),
+              "latent_bits=" << bits << " (expected 0|1|2|4|8)");
+  method.storage_codec.latent_bits = static_cast<std::uint8_t>(bits);
 }
 
 std::string summarize(const ClRunResult& result) {

@@ -43,6 +43,8 @@ NclMethodConfig bench_spiking_lr();
 ///   budget=<bytes>          replay-buffer byte budget (0 = unbounded)
 ///   policy=<name>           fifo | reservoir | class_balanced
 ///   replay_samples=<k>      per-epoch sample(k) draw (0 = full materialize)
+///   latent_bits=<b>         stored payload depth: 0 = legacy binary,
+///                           1/2/4/8 = quantized group counts
 /// Keys absent from `cfg` (and the R4NCL_* environment) leave the method's
 /// own defaults untouched.
 void apply_replay_overrides(NclMethodConfig& method, const Config& cfg);

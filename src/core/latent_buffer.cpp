@@ -30,6 +30,9 @@ LatentReplayBuffer::LatentReplayBuffer(const compress::CodecConfig& codec,
       rng_(budget.seed) {
   R4NCL_CHECK(activation_timesteps > 0, "activation_timesteps must be positive");
   R4NCL_CHECK(codec.ratio >= 1, "codec ratio must be >= 1");
+  R4NCL_CHECK(codec.latent_bits == 0 || compress::valid_payload_bits(codec.latent_bits),
+              "latent_bits must be 0 (legacy) or 1/2/4/8, got "
+                  << int(codec.latent_bits));
 }
 
 std::size_t LatentReplayBuffer::entry_bytes(const Entry& e) const noexcept {
@@ -130,7 +133,10 @@ std::vector<std::pair<std::int32_t, std::size_t>> LatentReplayBuffer::class_occu
 
 data::Sample LatentReplayBuffer::decompress_entry(const Entry& e,
                                                   snn::SpikeOpStats* stats) const {
-  if (stats != nullptr && codec_.ratio > 1) {
+  // Codec entries charge their dequantization/re-expansion work per payload
+  // bit, so narrower latent_bits shrink both storage and decompress cost
+  // proportionally; raw 1-bit storage (ratio 1, no quantizer) stays free.
+  if (stats != nullptr && (codec_.ratio > 1 || codec_.quantized())) {
     stats->decompress_bits += static_cast<std::uint64_t>(e.packed.payload_bytes()) * 8u;
   }
   return {compress::decompress_packed(e.packed, activation_timesteps_, codec_), e.label};

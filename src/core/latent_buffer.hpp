@@ -1,7 +1,8 @@
 // Latent replay buffer: the on-device store of old-knowledge activations.
 //
-// Holds bit-packed (optionally codec-compressed) spike rasters captured at
-// the LR insertion layer, plus labels.  memory_bytes() is the quantity
+// Holds bit-packed (optionally codec-compressed, optionally sub-byte
+// quantized — CodecConfig::latent_bits) spike rasters captured at the LR
+// insertion layer, plus labels.  memory_bytes() is the quantity
 // reported in Fig. 12: payload bytes plus a fixed per-sample header
 // (geometry + label; codec-compressed entries additionally carry codec
 // metadata, which is why SpikingLR's per-sample overhead is slightly larger
@@ -124,11 +125,15 @@ class LatentReplayBuffer {
   [[nodiscard]] data::Dataset sample(std::size_t k, Rng& rng,
                                      snn::SpikeOpStats* stats = nullptr) const;
 
+  /// Stored bits per payload element (0 = legacy binary storage).
+  [[nodiscard]] std::uint8_t latent_bits() const noexcept { return codec_.latent_bits; }
+
   /// Per-sample header bytes: raster geometry (2×u32) + label (i32) +
-  /// buffer-entry bookkeeping (u32) = 16; codec entries add ratio/strategy/
-  /// original-length metadata (8 more).
+  /// buffer-entry bookkeeping (u32) = 16; codec entries (time-grouped and/or
+  /// quantized) add ratio/strategy/bit-depth/original-length metadata
+  /// (8 more).
   [[nodiscard]] std::size_t header_bytes() const noexcept {
-    return codec_.ratio > 1 ? 24 : 16;
+    return (codec_.ratio > 1 || codec_.quantized()) ? 24 : 16;
   }
 
  private:

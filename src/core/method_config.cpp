@@ -10,6 +10,19 @@ snn::ThresholdPolicy NclMethodConfig::policy() const {
   return snn::ThresholdPolicy::fixed(threshold_base);
 }
 
+NclMethodConfig NclMethodConfig::with_latent_bits(std::uint8_t bits) const {
+  NclMethodConfig cfg = *this;
+  cfg.storage_codec.latent_bits = bits;
+  // Strip any previous "-q<N>" suffix so chained calls stay truthful.
+  if (const std::size_t pos = cfg.name.rfind("-q");
+      pos != std::string::npos && pos + 2 < cfg.name.size() &&
+      cfg.name.find_first_not_of("0123456789", pos + 2) == std::string::npos) {
+    cfg.name.erase(pos);
+  }
+  if (bits > 0) cfg.name += "-q" + std::to_string(bits);
+  return cfg;
+}
+
 NclMethodConfig NclMethodConfig::replay4ncl(std::size_t timesteps) {
   NclMethodConfig cfg;
   cfg.name = "Replay4NCL";

@@ -30,7 +30,11 @@ struct NclMethodConfig {
   std::string name = "method";
   /// Timesteps used for latent generation, CL training and deployment.
   std::size_t cl_timesteps = 100;
-  /// Codec applied to stored latent activations (ratio 1 = raw).
+  /// Codec applied to stored latent activations (ratio 1 = raw).  Its
+  /// latent_bits field selects the stored payload depth: 0 keeps the legacy
+  /// binary path bit-identical, 1/2/4/8 store quantized group counts — the
+  /// sub-byte knob that stretches replay_budget.capacity_bytes (Ravaglia et
+  /// al.).
   compress::CodecConfig storage_codec{};
   /// CL-phase learning rate (Alg. 1: η_pre / 100 for Replay4NCL).
   float lr_cl = kEtaPre;
@@ -58,6 +62,11 @@ struct NclMethodConfig {
 
   /// Builds the ThresholdPolicy implied by this method.
   [[nodiscard]] snn::ThresholdPolicy policy() const;
+
+  /// Copy storing latents at `bits` bits per element (0 restores the legacy
+  /// binary payload); the method name gains a "-q<bits>" suffix so sweep
+  /// tables stay self-describing.
+  [[nodiscard]] NclMethodConfig with_latent_bits(std::uint8_t bits) const;
 
   static NclMethodConfig replay4ncl(std::size_t timesteps = 40);
   static NclMethodConfig spiking_lr();

@@ -38,6 +38,23 @@ TEST(MethodConfig, ReducedTimestepVariant) {
   EXPECT_EQ(cfg.storage_codec.ratio, 2u);
 }
 
+TEST(MethodConfig, WithLatentBitsSetsDepthAndKeepsNameTruthful) {
+  const auto q8 = NclMethodConfig::replay4ncl().with_latent_bits(8);
+  EXPECT_EQ(q8.storage_codec.latent_bits, 8);
+  EXPECT_EQ(q8.name, "Replay4NCL-q8");
+  // Chained calls replace the suffix rather than stacking it, and resetting
+  // to the legacy payload drops it entirely.
+  const auto q4 = q8.with_latent_bits(4);
+  EXPECT_EQ(q4.storage_codec.latent_bits, 4);
+  EXPECT_EQ(q4.name, "Replay4NCL-q4");
+  const auto legacy = q4.with_latent_bits(0);
+  EXPECT_EQ(legacy.storage_codec.latent_bits, 0);
+  EXPECT_EQ(legacy.name, "Replay4NCL");
+  // A non-suffix "-q" in the user's own name survives.
+  NclMethodConfig custom = NclMethodConfig::spiking_lr_reduced(20);
+  EXPECT_EQ(custom.with_latent_bits(2).name, "SpikingLR-T20-q2");
+}
+
 TEST(MethodConfig, NaiveBaselineHasNoReplay) {
   const auto cfg = NclMethodConfig::naive_baseline();
   EXPECT_FALSE(cfg.use_replay);
