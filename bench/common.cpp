@@ -4,8 +4,10 @@
 
 namespace r4ncl::bench {
 
-BenchContext make_context(int argc, char** argv) {
+BenchContext make_context(int argc, char** argv,
+                          std::initializer_list<std::string_view> extra_keys) {
   Config cfg = Config::from_args(argc, argv);
+  core::validate_standard_keys(cfg, extra_keys);
   core::PretrainedScenario scenario = core::standard_scenario(cfg);
   return BenchContext{std::move(cfg), std::move(scenario)};
 }

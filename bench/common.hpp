@@ -14,7 +14,9 @@
 //   cache=0          disable the pre-trained checkpoint cache
 #pragma once
 
+#include <initializer_list>
 #include <string>
+#include <string_view>
 
 #include "core/experiment.hpp"
 #include "util/csv.hpp"
@@ -33,8 +35,12 @@ struct BenchContext {
   }
 };
 
-/// Builds the context (threads/logging init + cached pre-training).
-BenchContext make_context(int argc, char** argv);
+/// Builds the context (threads/logging init + cached pre-training).  CLI
+/// keys outside the standard vocabulary (core::standard_cli_keys()) plus
+/// `extra_keys` are rejected with an Error listing the valid ones, so knob
+/// typos fail loudly instead of silently running the defaults.
+BenchContext make_context(int argc, char** argv,
+                          std::initializer_list<std::string_view> extra_keys = {});
 
 /// Prints the table and writes `<name>.csv`.
 void emit(const ResultTable& table, const std::string& name, const std::string& title);

@@ -13,6 +13,10 @@
 //       ./budget_stream tasks=8 policy=fifo
 //       ./budget_stream budget=4096 policy=class_balanced epochs=4
 //       ./budget_stream latent_bits=2 tasks=8       (sub-byte quantized latents)
+//       ./budget_stream replay_stream=1 replay_samples=8   (streamed replay:
+//           the per-epoch draw decodes one training batch at a time instead
+//           of materializing every raster up front — same entries, same
+//           accuracy, bounded replay-assembly memory)
 #include <cstdio>
 
 #include "core/experiment.hpp"
@@ -24,6 +28,7 @@ using namespace r4ncl;
 
 int main(int argc, char** argv) {
   Config cfg = Config::from_args(argc, argv);
+  core::validate_standard_keys(cfg, {"tasks"});
   init_log_level_from_env();
   init_threads_from_env();
   const std::size_t num_tasks = static_cast<std::size_t>(cfg.get_int("tasks", 6));
@@ -69,6 +74,11 @@ int main(int argc, char** argv) {
         entry * (tasks.replay_subset.size() + 3 * run.replay_per_new_class);
   }
   const std::size_t budget = run.method.replay_budget.capacity_bytes;
+  if (run.method.replay_stream) {
+    std::printf("replay draw: streamed (ReplayStream fused into batch assembly, "
+                "%zu samples/epoch, batches of %zu)\n",
+                run.method.replay_samples_per_epoch, run.method.batch_size);
+  }
   if (run.method.storage_codec.quantized()) {
     std::printf("replay budget: %zu bytes, policy %s, latents quantized to %d bits\n\n",
                 budget, std::string(core::to_string(policy)).c_str(),

@@ -22,6 +22,7 @@ using namespace r4ncl;
 
 int main(int argc, char** argv) {
   const Config cfg = Config::from_args(argc, argv);
+  core::validate_standard_keys(cfg);
   Config scaled = cfg;
   if (!cfg.get("scale")) scaled.set("scale", "0.5");  // default: half-size mission
   core::PretrainedScenario scenario = core::standard_scenario(scaled);

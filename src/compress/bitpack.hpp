@@ -8,6 +8,14 @@
 // element through the same container.  The byte-per-row padding is also what
 // makes the paper's latent-memory savings land in the 20–21.88% band instead
 // of exactly 20% (see DESIGN.md §5).
+//
+// Decode/encode are byte-parallel: a constexpr 256-row table decodes every
+// payload byte's 8/4/2 elements with one small copy, and the encoders fold a
+// byte's worth of elements per shift/OR pass (SWAR), with an OpenMP row split
+// for large rasters (guarded by openmp_enabled()).  The *_into variants reuse
+// caller-owned allocations — the streaming-replay scratch path.
+// tests/test_bitpack_kernels.cpp pins kernel == scalar-reference exhaustively
+// over all byte values at every depth.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +59,15 @@ PackedRaster pack(const data::SpikeRaster& raster);
 /// bits_per_element == 1 (quantized payloads decode via unpack_elements()).
 data::SpikeRaster unpack(const PackedRaster& packed);
 
+/// unpack() into a caller-owned raster, reusing its allocation when the
+/// geometry already matches — the streaming-replay scratch path.
+void unpack_into(const PackedRaster& packed, data::SpikeRaster& out);
+
+/// Decodes one timestep row of a binary (bits_per_element == 1) payload into
+/// `dst` (`channels` bytes) — the row-level building block fused decoders
+/// (spike_codec's decompress_packed_into) are assembled from.
+void unpack_row(const PackedRaster& packed, std::size_t t, std::uint8_t* dst);
+
 /// Packs per-cell element values (row-major, each < 2^bits) at `bits` bits
 /// per element.  Exact inverse of unpack_elements() — no quantization happens
 /// here; callers reduce values to the target range first.
@@ -59,6 +76,10 @@ PackedRaster pack_elements(std::span<const std::uint8_t> values, std::size_t tim
 
 /// Element values of a packed raster at any bits_per_element, row-major.
 std::vector<std::uint8_t> unpack_elements(const PackedRaster& packed);
+
+/// unpack_elements() into a caller-owned vector (resized to fit), so a
+/// streaming decoder can reuse one scratch allocation across entries.
+void unpack_elements_into(const PackedRaster& packed, std::vector<std::uint8_t>& out);
 
 /// Storage bytes for a packed raster including the fixed per-sample header
 /// (geometry + label + codec metadata) a replay buffer must keep.

@@ -1,6 +1,7 @@
 #include "compress/spike_codec.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "util/error.hpp"
 
@@ -99,6 +100,13 @@ PackedRaster compress_packed(const data::SpikeRaster& raster, const CodecConfig&
   const std::size_t T = raster.timesteps;
   const std::size_t C = raster.channels;
   const std::size_t Tc = (T + config.ratio - 1) / config.ratio;
+  // Counts never exceed `ratio`, so one table lookup replaces the per-element
+  // quantize_count() call (and its range checks) on the hot encode path.
+  std::vector<std::uint8_t> quant_lut(config.ratio + 1);
+  for (std::uint32_t count = 0; count <= config.ratio; ++count) {
+    quant_lut[count] =
+        static_cast<std::uint8_t>(quantize_count(count, config.ratio, config.latent_bits));
+  }
   std::vector<std::uint8_t> levels(Tc * C);
   for (std::size_t tc = 0; tc < Tc; ++tc) {
     const std::size_t lo = tc * config.ratio;
@@ -106,8 +114,7 @@ PackedRaster compress_packed(const data::SpikeRaster& raster, const CodecConfig&
     for (std::size_t c = 0; c < C; ++c) {
       std::uint32_t count = 0;
       for (std::size_t t = lo; t < hi; ++t) count += raster.bits[t * C + c];
-      levels[tc * C + c] = static_cast<std::uint8_t>(
-          quantize_count(count, config.ratio, config.latent_bits));
+      levels[tc * C + c] = quant_lut[count];
     }
   }
   return pack_elements(levels, Tc, C, config.latent_bits);
@@ -116,7 +123,45 @@ PackedRaster compress_packed(const data::SpikeRaster& raster, const CodecConfig&
 data::SpikeRaster decompress_packed(const PackedRaster& packed,
                                     std::size_t original_timesteps,
                                     const CodecConfig& config) {
-  if (!config.quantized()) return decompress(unpack(packed), original_timesteps, config);
+  data::SpikeRaster out;
+  decompress_packed_into(packed, original_timesteps, config, out);
+  return out;
+}
+
+void decompress_packed_into(const PackedRaster& packed, std::size_t original_timesteps,
+                            const CodecConfig& config, data::SpikeRaster& out,
+                            std::vector<std::uint8_t>* levels_scratch) {
+  if (!config.quantized()) {
+    R4NCL_CHECK(config.ratio >= 1, "codec ratio must be >= 1");
+    if (config.ratio == 1) {
+      // Raw storage: the payload *is* the raster (decompress() is identity).
+      unpack_into(packed, out);
+      return;
+    }
+    R4NCL_CHECK(packed.bits_per_element == 1,
+                "unpack() decodes binary payloads; this raster stores "
+                    << int(packed.bits_per_element) << " bits/element");
+    const std::size_t row_bytes = packed.row_bytes();
+    R4NCL_CHECK(packed.payload.size() == packed.timesteps * row_bytes,
+                "packed payload size mismatch");
+    const std::size_t expected =
+        (original_timesteps + config.ratio - 1) / config.ratio;
+    R4NCL_CHECK(packed.timesteps == expected,
+                "compressed raster has " << packed.timesteps << " steps, expected "
+                                         << expected);
+    const std::size_t C = packed.channels;
+    out.timesteps = original_timesteps;
+    out.channels = C;
+    out.bits.assign(original_timesteps * C, 0);
+    // Fused unpack + re-expansion: each compressed row decodes straight into
+    // its group's first slot (Fig. 7 bottom row); no Tc x C intermediate.
+    for (std::size_t tc = 0; tc < packed.timesteps; ++tc) {
+      const std::size_t t0 = tc * config.ratio;  // group start
+      if (t0 >= original_timesteps) break;
+      unpack_row(packed, tc, out.bits.data() + t0 * C);
+    }
+    return;
+  }
   check_quantized_config(config);
   R4NCL_CHECK(packed.bits_per_element == config.latent_bits,
               "payload stores " << int(packed.bits_per_element)
@@ -127,22 +172,35 @@ data::SpikeRaster decompress_packed(const PackedRaster& packed,
   R4NCL_CHECK(packed.timesteps == expected,
               "quantized payload has " << packed.timesteps << " groups, expected "
                                        << expected);
-  const std::vector<std::uint8_t> levels = unpack_elements(packed);
+  std::vector<std::uint8_t> local_levels;
+  std::vector<std::uint8_t>& levels = levels_scratch ? *levels_scratch : local_levels;
+  unpack_elements_into(packed, levels);
+  // Reconstructed spikes fill each group's leading slots (the quantized
+  // generalisation of Fig. 7's group-start convention): slot k of a group
+  // spikes iff the reconstructed count exceeds k.  dequantize_count() is
+  // nondecreasing in the level code, so "count > k" is the threshold test
+  // "level >= min_level_over[k]" — one branch-free byte compare per cell,
+  // row-major, instead of a strided scatter loop per nonzero count.
+  std::array<std::uint8_t, 256> min_level_over{};
+  for (std::uint32_t k = 0; k < config.ratio; ++k) {
+    std::uint32_t level = 0;
+    while (dequantize_count(level, config.ratio, config.latent_bits) <= k) ++level;
+    min_level_over[k] = static_cast<std::uint8_t>(level);  // dq[max_level]=ratio>k
+  }
   const std::size_t C = packed.channels;
-  data::SpikeRaster out(original_timesteps, C);
+  out.timesteps = original_timesteps;
+  out.channels = C;
+  out.bits.resize(original_timesteps * C);
   for (std::size_t tc = 0; tc < packed.timesteps; ++tc) {
     const std::size_t lo = tc * config.ratio;
     const std::size_t hi = std::min<std::size_t>(lo + config.ratio, original_timesteps);
-    for (std::size_t c = 0; c < C; ++c) {
-      // Reconstructed spikes fill the group's leading slots (the quantized
-      // generalisation of Fig. 7's group-start convention).
-      const std::uint32_t count = std::min<std::uint32_t>(
-          dequantize_count(levels[tc * C + c], config.ratio, config.latent_bits),
-          static_cast<std::uint32_t>(hi - lo));
-      for (std::uint32_t k = 0; k < count; ++k) out.bits[(lo + k) * C + c] = 1;
+    const std::uint8_t* level_row = levels.data() + tc * C;
+    for (std::size_t k = 0; k < hi - lo; ++k) {
+      std::uint8_t* dst = out.bits.data() + (lo + k) * C;
+      const std::uint8_t threshold = min_level_over[k];
+      for (std::size_t c = 0; c < C; ++c) dst[c] = level_row[c] >= threshold ? 1 : 0;
     }
   }
-  return out;
 }
 
 double spike_retention(const data::SpikeRaster& original, const CodecConfig& config) {

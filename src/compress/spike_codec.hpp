@@ -79,6 +79,15 @@ data::SpikeRaster decompress_packed(const PackedRaster& packed,
                                     std::size_t original_timesteps,
                                     const CodecConfig& config);
 
+/// decompress_packed() into a caller-owned raster, reusing its allocation
+/// when the geometry already matches — the streaming-replay scratch path.
+/// `levels_scratch`, when given, is reused for the quantized payload's
+/// intermediate level codes so a minibatch cursor allocates nothing in
+/// steady state.
+void decompress_packed_into(const PackedRaster& packed, std::size_t original_timesteps,
+                            const CodecConfig& config, data::SpikeRaster& out,
+                            std::vector<std::uint8_t>* levels_scratch = nullptr);
+
 /// Fraction of spikes surviving a compress→decompress round trip; a cheap
 /// information-retention proxy used by the codec ablation.
 double spike_retention(const data::SpikeRaster& original, const CodecConfig& config);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/replay_stream.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -105,18 +106,6 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
     data::Dataset mixed =
         frozen_inference(net, new_train_rescaled, config.insertion_layer, policy,
                          method.batch_size, &row.stats);
-    // A_LR from the buffer (decompression charged to this epoch).  When the
-    // method caps its per-epoch replay appetite, only the drawn entries are
-    // decompressed — the budgeted-stream hot path.
-    if (method.use_replay) {
-      data::Dataset replay =
-          method.replay_samples_per_epoch > 0
-              ? buffer.sample(method.replay_samples_per_epoch, replay_rng, &row.stats)
-              : buffer.materialize(&row.stats);
-      mixed.insert(mixed.end(), std::make_move_iterator(replay.begin()),
-                   std::make_move_iterator(replay.end()));
-    }
-
     // Train the learning layers on A_new ∪ A_LR (Alg. 1 line 31).
     snn::TrainOptions opts;
     opts.epochs = 1;
@@ -125,7 +114,37 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
     opts.insertion_layer = config.insertion_layer;
     opts.policy = policy;
     opts.shuffle_seed = epoch_rng();
-    const auto history = snn::train_supervised(net, mixed, optimizer, opts);
+    std::vector<snn::EpochRecord> history;
+    if (method.use_replay && method.replay_stream) {
+      // A_LR as a streaming cursor: the same draw from the same Rng as the
+      // materialized path below (bit-identical entry sets and training
+      // batches), but each drawn raster decodes into a scratch slot only
+      // when the shuffled batch assembly reaches it.
+      const std::size_t draw = method.replay_samples_per_epoch > 0
+                                   ? method.replay_samples_per_epoch
+                                   : buffer.size();
+      ReplayStream stream =
+          buffer.stream(draw, replay_rng, method.batch_size, &row.stats);
+      snn::SampleSource source;
+      source.size = mixed.size() + stream.size();
+      source.fetch = [&mixed, &stream](std::size_t i) -> const data::Sample& {
+        return i < mixed.size() ? mixed[i] : stream.fetch(i - mixed.size());
+      };
+      history = snn::train_supervised(net, source, optimizer, opts);
+    } else {
+      // A_LR from the buffer (decompression charged to this epoch).  When
+      // the method caps its per-epoch replay appetite, only the drawn
+      // entries are decompressed — the budgeted-stream hot path.
+      if (method.use_replay) {
+        data::Dataset replay =
+            method.replay_samples_per_epoch > 0
+                ? buffer.sample(method.replay_samples_per_epoch, replay_rng, &row.stats)
+                : buffer.materialize(&row.stats);
+        mixed.insert(mixed.end(), std::make_move_iterator(replay.begin()),
+                     std::make_move_iterator(replay.end()));
+      }
+      history = snn::train_supervised(net, mixed, optimizer, opts);
+    }
     row.loss = history.front().loss;
     row.stats.add(history.front().stats);
 

@@ -61,19 +61,43 @@ NclMethodConfig bench_replay4ncl(std::size_t timesteps) {
 NclMethodConfig bench_spiking_lr() { return NclMethodConfig::spiking_lr(); }
 
 void apply_replay_overrides(NclMethodConfig& method, const Config& cfg) {
-  method.replay_budget.capacity_bytes = static_cast<std::size_t>(cfg.get_int(
-      "budget", static_cast<long long>(method.replay_budget.capacity_bytes)));
+  // Negative values would wrap through static_cast<std::size_t> into
+  // ~SIZE_MAX (an accidental "unbounded" budget / draw) — reject them.
+  const long long budget = cfg.get_int(
+      "budget", static_cast<long long>(method.replay_budget.capacity_bytes));
+  R4NCL_CHECK(budget >= 0,
+              "budget=" << budget << " must be a non-negative byte count (0 = unbounded)");
+  method.replay_budget.capacity_bytes = static_cast<std::size_t>(budget);
   if (const auto policy = cfg.get("policy")) {
     method.replay_budget.policy = parse_replay_policy(*policy);
   }
-  method.replay_samples_per_epoch = static_cast<std::size_t>(cfg.get_int(
-      "replay_samples", static_cast<long long>(method.replay_samples_per_epoch)));
+  const long long samples = cfg.get_int(
+      "replay_samples", static_cast<long long>(method.replay_samples_per_epoch));
+  R4NCL_CHECK(samples >= 0, "replay_samples=" << samples
+                                              << " must be a non-negative entry count "
+                                                 "(0 = full materialize)");
+  method.replay_samples_per_epoch = static_cast<std::size_t>(samples);
   const long long bits = cfg.get_int(
       "latent_bits", static_cast<long long>(method.storage_codec.latent_bits));
   R4NCL_CHECK(bits == 0 || (bits > 0 && bits <= 8 &&
                             compress::valid_payload_bits(static_cast<unsigned>(bits))),
               "latent_bits=" << bits << " (expected 0|1|2|4|8)");
   method.storage_codec.latent_bits = static_cast<std::uint8_t>(bits);
+  method.replay_stream = cfg.get_bool("replay_stream", method.replay_stream);
+}
+
+std::vector<std::string_view> standard_cli_keys() {
+  return {"budget",         "cache",          "cache_dir", "epochs",
+          "latent_bits",    "policy",         "pretrain_epochs",
+          "replay_samples", "replay_stream",  "scale",
+          "threads",        "verbose"};
+}
+
+void validate_standard_keys(const Config& cfg,
+                            std::initializer_list<std::string_view> extra) {
+  std::vector<std::string_view> known = standard_cli_keys();
+  known.insert(known.end(), extra.begin(), extra.end());
+  cfg.validate_keys(known);
 }
 
 std::string summarize(const ClRunResult& result) {

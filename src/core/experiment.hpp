@@ -3,7 +3,10 @@
 // full suite runs on small machines.
 #pragma once
 
+#include <initializer_list>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/continual_trainer.hpp"
 #include "core/pretrain.hpp"
@@ -45,9 +48,26 @@ NclMethodConfig bench_spiking_lr();
 ///   replay_samples=<k>      per-epoch sample(k) draw (0 = full materialize)
 ///   latent_bits=<b>         stored payload depth: 0 = legacy binary,
 ///                           1/2/4/8 = quantized group counts
+///   replay_stream=<0|1>     stream the per-epoch draw through a
+///                           ReplayStream fused into batch assembly
 /// Keys absent from `cfg` (and the R4NCL_* environment) leave the method's
-/// own defaults untouched.
+/// own defaults untouched.  Negative byte/count values throw Error instead
+/// of wrapping to ~SIZE_MAX.
 void apply_replay_overrides(NclMethodConfig& method, const Config& cfg);
+
+/// The CLI vocabulary every standard bench/example understands: the scenario
+/// knobs read by pretrain_config_from()/standard_scenario() (scale,
+/// pretrain_epochs, threads, cache, cache_dir, verbose), the shared CL epoch
+/// count (epochs), and the replay knobs of apply_replay_overrides().
+[[nodiscard]] std::vector<std::string_view> standard_cli_keys();
+
+/// Rejects unrecognized CLI keys: throws Error (naming the offending key and
+/// listing the valid ones) when `cfg` holds an explicitly-set key outside
+/// standard_cli_keys() ∪ `extra`.  Call it right after Config::from_args so
+/// a typo like `latentbits=4` fails loudly instead of silently running the
+/// default configuration.
+void validate_standard_keys(const Config& cfg,
+                            std::initializer_list<std::string_view> extra = {});
 
 /// One-line human summary of a CL run (final accs + totals).
 std::string summarize(const ClRunResult& result);

@@ -43,7 +43,7 @@ bool LatentReplayBuffer::add(const data::SpikeRaster& raster, std::int32_t label
   R4NCL_CHECK(raster.timesteps == activation_timesteps_,
               "raster has " << raster.timesteps << " steps, buffer expects "
                             << activation_timesteps_);
-  if (entries_.empty()) {
+  if (empty()) {
     channels_ = raster.channels;
   } else {
     R4NCL_CHECK(raster.channels == channels_, "raster has " << raster.channels
@@ -71,7 +71,7 @@ bool LatentReplayBuffer::add(const data::SpikeRaster& raster, std::int32_t label
           // probability size/stream_seen, displacing a uniform victim.  All
           // entries share one geometry, so one eviction always makes room.
           const std::uint64_t j = rng_.uniform_index(stream_seen_);
-          if (j >= entries_.size()) {
+          if (j >= size()) {
             ++evictions_;  // the incoming entry is the one displaced
             return false;
           }
@@ -96,17 +96,43 @@ bool LatentReplayBuffer::add(const data::SpikeRaster& raster, std::int32_t label
   } else {
     ++it->second;
   }
-  entries_.push_back(std::move(entry));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(entry);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(entry));
+  }
+  order_.push_back(slot);
   return true;
 }
 
 void LatentReplayBuffer::evict_at(std::size_t index) {
-  const Entry& victim = entries_[index];
+  const std::size_t pos = head_ + index;
+  const std::uint32_t slot = order_[pos];
+  Entry& victim = slots_[slot];
   memory_bytes_ -= entry_bytes(victim);
   auto it = std::lower_bound(class_counts_.begin(), class_counts_.end(), victim.label,
                              [](const auto& p, std::int32_t l) { return p.first < l; });
   if (--it->second == 0) class_counts_.erase(it);
-  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+  victim = Entry{};  // release the payload allocation now, not at compaction
+  free_slots_.push_back(slot);
+  if (index == 0) {
+    // FIFO hot case: bump the ring head instead of erasing, and compact the
+    // dead prefix only once it dominates — amortized O(1) per eviction where
+    // the old vector erase shifted every remaining Entry.
+    ++head_;
+    if (head_ >= 64 && head_ * 2 >= order_.size()) {
+      order_.erase(order_.begin(), order_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  } else {
+    // Middle eviction (reservoir victim / balanced class): splice out a
+    // 4-byte slot id; the Entry payloads never move.
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
   ++evictions_;
 }
 
@@ -120,8 +146,9 @@ std::size_t LatentReplayBuffer::balanced_victim(std::int32_t incoming) const {
       heaviest_count = effective;
     }
   }
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].label == heaviest) return i;
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (entry_at(i).label == heaviest) return i;
   }
   throw Error("class accounting out of sync with entries");
 }
@@ -131,39 +158,69 @@ std::vector<std::pair<std::int32_t, std::size_t>> LatentReplayBuffer::class_occu
   return class_counts_;
 }
 
-data::Sample LatentReplayBuffer::decompress_entry(const Entry& e,
-                                                  snn::SpikeOpStats* stats) const {
+void LatentReplayBuffer::charge_decompress(const Entry& e, snn::SpikeOpStats* stats) const {
   // Codec entries charge their dequantization/re-expansion work per payload
   // bit, so narrower latent_bits shrink both storage and decompress cost
   // proportionally; raw 1-bit storage (ratio 1, no quantizer) stays free.
   if (stats != nullptr && (codec_.ratio > 1 || codec_.quantized())) {
     stats->decompress_bits += static_cast<std::uint64_t>(e.packed.payload_bytes()) * 8u;
   }
+}
+
+data::Sample LatentReplayBuffer::decompress_entry(const Entry& e,
+                                                  snn::SpikeOpStats* stats) const {
+  charge_decompress(e, stats);
   return {compress::decompress_packed(e.packed, activation_timesteps_, codec_), e.label};
+}
+
+std::int32_t LatentReplayBuffer::label_at(std::size_t index) const {
+  R4NCL_CHECK(index < size(), "entry " << index << " out of " << size());
+  return entry_at(index).label;
+}
+
+void LatentReplayBuffer::decompress_into(std::size_t index, data::Sample& out,
+                                         snn::SpikeOpStats* stats,
+                                         std::vector<std::uint8_t>* levels_scratch) const {
+  R4NCL_CHECK(index < size(), "entry " << index << " out of " << size());
+  const Entry& e = entry_at(index);
+  charge_decompress(e, stats);
+  compress::decompress_packed_into(e.packed, activation_timesteps_, codec_, out.raster,
+                                   levels_scratch);
+  out.label = e.label;
 }
 
 data::Dataset LatentReplayBuffer::materialize(snn::SpikeOpStats* stats) const {
   data::Dataset out;
-  out.reserve(entries_.size());
-  for (const Entry& e : entries_) out.push_back(decompress_entry(e, stats));
+  const std::size_t n = size();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(decompress_entry(entry_at(i), stats));
   return out;
+}
+
+std::vector<std::size_t> LatentReplayBuffer::draw_indices(std::size_t k, Rng& rng) const {
+  const std::size_t n = size();
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  // Whole-buffer draws keep storage order and consume no rng draws — the
+  // materialize() fallback of sample(), preserved so streamed and
+  // materialized paths stay bit-identical run-for-run.
+  if (k >= n) return indices;
+  // Partial Fisher–Yates: the first k slots become a uniform draw without
+  // replacement, consuming exactly k rng draws in sample()'s order.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.uniform_index(n - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
 }
 
 data::Dataset LatentReplayBuffer::sample(std::size_t k, Rng& rng,
                                          snn::SpikeOpStats* stats) const {
-  if (k >= entries_.size()) return materialize(stats);
-  // Partial Fisher–Yates: the first k slots of `indices` become a uniform
-  // draw without replacement; only those entries are decompressed.
-  std::vector<std::size_t> indices(entries_.size());
-  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  const std::vector<std::size_t> drawn = draw_indices(k, rng);
   data::Dataset out;
-  out.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t j =
-        i + static_cast<std::size_t>(rng.uniform_index(indices.size() - i));
-    std::swap(indices[i], indices[j]);
-    out.push_back(decompress_entry(entries_[indices[i]], stats));
-  }
+  out.reserve(drawn.size());
+  for (const std::size_t i : drawn) out.push_back(decompress_entry(entry_at(i), stats));
   return out;
 }
 

@@ -34,6 +34,8 @@
 
 namespace r4ncl::core {
 
+class ReplayStream;
+
 /// Which stored entry gives way when an add() would exceed the byte budget.
 enum class ReplayPolicy : std::uint8_t {
   kFifo,           // oldest entry evicted first
@@ -91,8 +93,8 @@ class LatentReplayBuffer {
   /// Channel width of the stored activations (0 while empty).
   [[nodiscard]] std::size_t channels() const noexcept { return channels_; }
 
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size() - head_; }
+  [[nodiscard]] bool empty() const noexcept { return order_.size() == head_; }
   [[nodiscard]] std::size_t activation_timesteps() const noexcept {
     return activation_timesteps_;
   }
@@ -125,6 +127,33 @@ class LatentReplayBuffer {
   [[nodiscard]] data::Dataset sample(std::size_t k, Rng& rng,
                                      snn::SpikeOpStats* stats = nullptr) const;
 
+  /// The index draw behind sample(), without the decode: min(k, size())
+  /// distinct logical indices, uniform without replacement (partial
+  /// Fisher–Yates).  k >= size() returns the whole buffer in storage order
+  /// and consumes no rng draws — exactly sample()'s materialize fallback —
+  /// so for the same Rng the returned set is bit-identical to what sample()
+  /// would decompress.
+  [[nodiscard]] std::vector<std::size_t> draw_indices(std::size_t k, Rng& rng) const;
+
+  /// Opens a streaming minibatch cursor over a draw (see ReplayStream):
+  /// the same entry set as sample(k, rng) for the same Rng, but decoded at
+  /// most `minibatch` rasters at a time into a reusable scratch pool, with
+  /// decompress_bits charged incrementally per decoded entry.  The buffer
+  /// must outlive the stream and not be mutated while it is open.
+  [[nodiscard]] ReplayStream stream(std::size_t k, Rng& rng, std::size_t minibatch = 16,
+                                    snn::SpikeOpStats* stats = nullptr) const;
+
+  /// Label of the entry at logical index `index` (no decode).
+  [[nodiscard]] std::int32_t label_at(std::size_t index) const;
+
+  /// Decompresses the entry at logical `index` into `out`, reusing its
+  /// allocations (and `levels_scratch`, when given, for quantized payload
+  /// codes) — the ReplayStream decode path.  Charges decompress_bits exactly
+  /// as sample()/materialize() do.
+  void decompress_into(std::size_t index, data::Sample& out,
+                       snn::SpikeOpStats* stats = nullptr,
+                       std::vector<std::uint8_t>* levels_scratch = nullptr) const;
+
   /// Stored bits per payload element (0 = legacy binary storage).
   [[nodiscard]] std::uint8_t latent_bits() const noexcept { return codec_.latent_bits; }
 
@@ -142,10 +171,24 @@ class LatentReplayBuffer {
     std::int32_t label = 0;
   };
 
+  /// Entry at logical position `index` (0 = oldest stored).  Logical order
+  /// is insertion order with evicted entries spliced out — the same order a
+  /// plain vector-with-erase would expose, but backed by an index ring so
+  /// eviction never moves Entry payloads: slots_ is stable append-only
+  /// storage (freed slots recycled through free_slots_), order_ holds slot
+  /// ids, and head_ is the ring head a FIFO eviction bumps in O(1).
+  [[nodiscard]] const Entry& entry_at(std::size_t index) const noexcept {
+    return slots_[order_[head_ + index]];
+  }
   [[nodiscard]] std::size_t entry_bytes(const Entry& e) const noexcept;
   [[nodiscard]] data::Sample decompress_entry(const Entry& e,
                                               snn::SpikeOpStats* stats) const;
-  /// Removes entries_[index], maintaining the byte and class accounting.
+  /// Charges the codec's decompression work for one entry (no-op for raw
+  /// storage or when stats is null).
+  void charge_decompress(const Entry& e, snn::SpikeOpStats* stats) const;
+  /// Removes the entry at logical `index`, maintaining the byte and class
+  /// accounting.  index 0 (the FIFO case) is amortized O(1); middle
+  /// evictions splice a 4-byte slot id out of order_, never an Entry.
   void evict_at(std::size_t index);
   /// Index of the oldest stored entry of the most-represented class (the
   /// incoming label counts toward its class; ties go to the smallest label)
@@ -160,7 +203,13 @@ class LatentReplayBuffer {
   std::size_t memory_bytes_ = 0;
   std::size_t stream_seen_ = 0;
   std::size_t evictions_ = 0;
-  std::vector<Entry> entries_;
+  /// Stable entry storage; never reordered, freed slots are reused.
+  std::vector<Entry> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  /// Logical (insertion) order of live entries as slot ids; order_[head_]
+  /// is the oldest.  The dead prefix [0, head_) is compacted amortizedly.
+  std::vector<std::uint32_t> order_;
+  std::size_t head_ = 0;
   /// Parallel per-class counts (label → stored entries), kept sorted.
   std::vector<std::pair<std::int32_t, std::size_t>> class_counts_;
 };

@@ -58,6 +58,12 @@ struct NclMethodConfig {
   /// bounds the per-epoch decompression + training cost when the buffer is
   /// large (the budgeted-stream hot path).
   std::size_t replay_samples_per_epoch = 0;
+  /// Stream the per-epoch replay draw through a ReplayStream fused into
+  /// training-batch assembly instead of materializing every drawn raster up
+  /// front: same Rng stream, bit-identical entry sets and accuracies, but
+  /// peak replay-assembly memory drops from draw-size × raster bytes to one
+  /// batch of rasters.  CLI knob: replay_stream=1.
+  bool replay_stream = false;
   std::size_t batch_size = 16;
 
   /// Builds the ThresholdPolicy implied by this method.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/replay_stream.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -85,12 +86,6 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
     for (std::size_t epoch = 0; epoch < config.epochs_per_task; ++epoch) {
       data::Dataset mixed = to_latents(net, new_rescaled, config.insertion_layer, policy,
                                        method.batch_size, &task_stats);
-      data::Dataset replay =
-          method.replay_samples_per_epoch > 0
-              ? buffer.sample(method.replay_samples_per_epoch, replay_rng, &task_stats)
-              : buffer.materialize(&task_stats);
-      mixed.insert(mixed.end(), std::make_move_iterator(replay.begin()),
-                   std::make_move_iterator(replay.end()));
       snn::TrainOptions opts;
       opts.epochs = 1;
       opts.batch_size = method.batch_size;
@@ -98,7 +93,30 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
       opts.insertion_layer = config.insertion_layer;
       opts.policy = policy;
       opts.shuffle_seed = seed_rng();
-      const auto history = snn::train_supervised(net, mixed, optimizer, opts);
+      std::vector<snn::EpochRecord> history;
+      if (method.replay_stream) {
+        // Streamed replay: same draw (same Rng stream) and same training
+        // batches as the materialized branch, decoded one batch at a time.
+        const std::size_t draw = method.replay_samples_per_epoch > 0
+                                     ? method.replay_samples_per_epoch
+                                     : buffer.size();
+        ReplayStream stream =
+            buffer.stream(draw, replay_rng, method.batch_size, &task_stats);
+        snn::SampleSource source;
+        source.size = mixed.size() + stream.size();
+        source.fetch = [&mixed, &stream](std::size_t i) -> const data::Sample& {
+          return i < mixed.size() ? mixed[i] : stream.fetch(i - mixed.size());
+        };
+        history = snn::train_supervised(net, source, optimizer, opts);
+      } else {
+        data::Dataset replay =
+            method.replay_samples_per_epoch > 0
+                ? buffer.sample(method.replay_samples_per_epoch, replay_rng, &task_stats)
+                : buffer.materialize(&task_stats);
+        mixed.insert(mixed.end(), std::make_move_iterator(replay.begin()),
+                     std::make_move_iterator(replay.end()));
+        history = snn::train_supervised(net, mixed, optimizer, opts);
+      }
       task_stats.add(history.front().stats);
     }
 

@@ -67,13 +67,22 @@ Tensor make_batch(const Dataset& dataset, std::span<const std::size_t> indices) 
     const SpikeRaster& r = dataset.at(indices[b]).raster;
     R4NCL_CHECK(r.timesteps == first.timesteps && r.channels == first.channels,
                 "raster shape mismatch inside batch");
-    for (std::size_t t = 0; t < r.timesteps; ++t) {
-      for (std::size_t c = 0; c < r.channels; ++c) {
-        batch(t, b, c) = static_cast<float>(r.bits[t * r.channels + c]);
-      }
-    }
+    fill_batch_column(batch, b, r);
   }
   return batch;
+}
+
+void fill_batch_column(Tensor& batch, std::size_t b, const SpikeRaster& raster) {
+  R4NCL_CHECK(batch.rank() == 3, "batch must be a (T x B x C) cube");
+  R4NCL_CHECK(raster.timesteps == batch.dim(0) && b < batch.dim(1) &&
+                  raster.channels == batch.dim(2),
+              "raster " << raster.timesteps << "x" << raster.channels
+                        << " does not fit batch column " << b);
+  for (std::size_t t = 0; t < raster.timesteps; ++t) {
+    for (std::size_t c = 0; c < raster.channels; ++c) {
+      batch(t, b, c) = static_cast<float>(raster.bits[t * raster.channels + c]);
+    }
+  }
 }
 
 std::vector<std::int32_t> batch_labels(const Dataset& dataset,

@@ -69,6 +69,11 @@ Dataset time_rescale(const Dataset& dataset, std::size_t new_timesteps,
 /// the given sample indices.  All selected samples must share raster shape.
 Tensor make_batch(const Dataset& dataset, std::span<const std::size_t> indices);
 
+/// Writes `raster` into column `b` of a (T × B × channels) float batch —
+/// the single-sample building block make_batch() and the streaming trainer
+/// path assemble batches from, so both produce bit-identical tensors.
+void fill_batch_column(Tensor& batch, std::size_t b, const SpikeRaster& raster);
+
 /// Labels of the given samples, in order.
 std::vector<std::int32_t> batch_labels(const Dataset& dataset,
                                        std::span<const std::size_t> indices);

@@ -13,25 +13,51 @@ namespace r4ncl::snn {
 std::vector<EpochRecord> train_supervised(SnnNetwork& net, const data::Dataset& dataset,
                                           AdamOptimizer& optimizer, const TrainOptions& options,
                                           const EpochHook& hook) {
-  R4NCL_CHECK(!dataset.empty(), "cannot train on an empty dataset");
+  SampleSource source;
+  source.size = dataset.size();
+  source.fetch = [&dataset](std::size_t i) -> const data::Sample& { return dataset[i]; };
+  return train_supervised(net, source, optimizer, options, hook);
+}
+
+std::vector<EpochRecord> train_supervised(SnnNetwork& net, const SampleSource& source,
+                                          AdamOptimizer& optimizer, const TrainOptions& options,
+                                          const EpochHook& hook) {
+  R4NCL_CHECK(source.size > 0, "cannot train on an empty dataset");
+  R4NCL_CHECK(static_cast<bool>(source.fetch), "SampleSource.fetch must be set");
   R4NCL_CHECK(options.batch_size > 0, "batch_size must be positive");
   Rng shuffle_rng(options.shuffle_seed);
   std::vector<EpochRecord> history;
   history.reserve(options.epochs);
+  std::vector<std::int32_t> labels;
+  labels.reserve(options.batch_size);
 
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     Stopwatch watch;
     EpochRecord rec;
     rec.epoch = epoch;
-    auto order = shuffle_rng.permutation(dataset.size());
+    auto order = shuffle_rng.permutation(source.size);
     std::size_t correct = 0;
     double loss_sum = 0.0;
     std::size_t batches = 0;
     for (std::size_t lo = 0; lo < order.size(); lo += options.batch_size) {
       const std::size_t hi = std::min(order.size(), lo + options.batch_size);
-      const std::span<const std::size_t> idx(order.data() + lo, hi - lo);
-      const Tensor batch = data::make_batch(dataset, idx);
-      const auto labels = data::batch_labels(dataset, idx);
+      const std::size_t batch_count = hi - lo;
+      // Samples are copied into the batch tensor one at a time, so a lazy
+      // source only ever needs its current sample alive — the streaming
+      // replay contract.
+      Tensor batch;
+      labels.clear();
+      for (std::size_t b = 0; b < batch_count; ++b) {
+        const data::Sample& s = source.fetch(order[lo + b]);
+        if (b == 0) {
+          batch = Tensor(s.raster.timesteps, batch_count, s.raster.channels);
+        } else {
+          R4NCL_CHECK(s.raster.timesteps == batch.dim(0) && s.raster.channels == batch.dim(2),
+                      "raster shape mismatch inside batch");
+        }
+        data::fill_batch_column(batch, b, s.raster);
+        labels.push_back(s.label);
+      }
       const StepResult step =
           net.train_step(batch, labels, options.insertion_layer, options.policy, optimizer,
                          options.lr, options.mode, &rec.stats);
@@ -41,7 +67,7 @@ std::vector<EpochRecord> train_supervised(SnnNetwork& net, const data::Dataset& 
     }
     rec.loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
     rec.train_accuracy =
-        static_cast<double>(correct) / static_cast<double>(dataset.size());
+        static_cast<double>(correct) / static_cast<double>(source.size);
     rec.wall_seconds = watch.elapsed_seconds();
     if (options.verbose) {
       R4NCL_INFO("epoch " << epoch << ": loss=" << rec.loss

@@ -40,10 +40,28 @@ struct EpochRecord {
 /// Per-epoch hook: called after each epoch (e.g. to evaluate held-out sets).
 using EpochHook = std::function<void(const EpochRecord&)>;
 
+/// Random-access view over a virtual training set: `size` samples produced
+/// on demand.  fetch(i) may return a reference into an internal scratch slot
+/// that is only valid until the next fetch — the trainer copies each sample
+/// into the batch tensor before fetching the next one, which is what lets a
+/// streaming replay source decode one sample at a time instead of
+/// materializing the whole set (see core::ReplayStream).
+struct SampleSource {
+  std::size_t size = 0;
+  std::function<const data::Sample&(std::size_t)> fetch;
+};
+
 /// Trains `net` on `dataset` (spike cubes at `insertion_layer`).  Returns the
 /// per-epoch history.  The caller owns the optimizer so moment state can
 /// persist across phases when desired.
 std::vector<EpochRecord> train_supervised(SnnNetwork& net, const data::Dataset& dataset,
+                                          AdamOptimizer& optimizer, const TrainOptions& options,
+                                          const EpochHook& hook = nullptr);
+
+/// train_supervised over a lazily-fetched source.  Bit-identical to the
+/// Dataset overload for the same shuffle seed and sample values — the
+/// Dataset overload is implemented on top of this one.
+std::vector<EpochRecord> train_supervised(SnnNetwork& net, const SampleSource& source,
                                           AdamOptimizer& optimizer, const TrainOptions& options,
                                           const EpochHook& hook = nullptr);
 

@@ -1,7 +1,10 @@
 #include "util/config.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
+
+#include "util/error.hpp"
 
 namespace r4ncl {
 
@@ -59,6 +62,21 @@ bool Config::get_bool(const std::string& key, bool fallback) const {
     if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
   }
   return fallback;
+}
+
+void Config::validate_keys(std::span<const std::string_view> known) const {
+  for (const auto& [key, value] : values_) {
+    if (std::find(known.begin(), known.end(), key) != known.end()) continue;
+    std::vector<std::string_view> sorted(known.begin(), known.end());
+    std::sort(sorted.begin(), sorted.end());
+    std::string msg = "unknown config key '" + key + "' (valid keys: ";
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (i > 0) msg += ", ";
+      msg.append(sorted[i]);
+    }
+    msg += ")";
+    throw Error(msg);
+  }
 }
 
 std::string env_key_for(const std::string& key) {

@@ -8,7 +8,9 @@
 
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace r4ncl {
@@ -33,6 +35,13 @@ class Config {
   [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
     return positionals_;
   }
+
+  /// Throws Error when any explicitly-set key (a parsed CLI token or set()
+  /// call) is not in `known`; the message names the first offending key and
+  /// lists the valid ones sorted, so a typo like `latentbits=4` fails loudly
+  /// instead of silently running the defaults.  Environment variables are
+  /// not validated — they are read on demand through the known keys only.
+  void validate_keys(std::span<const std::string_view> known) const;
 
  private:
   std::map<std::string, std::string> values_;

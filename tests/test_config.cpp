@@ -1,9 +1,11 @@
-// Config parsing: CLI tokens, env fallback, typed getters.
+// Config parsing: CLI tokens, env fallback, typed getters, key validation.
 #include <cstdlib>
+#include <string_view>
 
 #include <gtest/gtest.h>
 
 #include "util/config.hpp"
+#include "util/error.hpp"
 
 namespace r4ncl {
 namespace {
@@ -71,6 +73,31 @@ TEST(Config, ExplicitValueBeatsEnvironment) {
   const Config cfg = parse({"priority_key=2"});
   EXPECT_EQ(cfg.get_int("priority_key", 0), 2);
   ::unsetenv("R4NCL_PRIORITY_KEY");
+}
+
+TEST(Config, ValidateKeysAcceptsKnownAndPositionals) {
+  const Config cfg = parse({"alpha=1", "a-positional", "beta=x"});
+  const std::string_view known[] = {"alpha", "beta", "gamma"};
+  EXPECT_NO_THROW(cfg.validate_keys(known));
+}
+
+TEST(Config, ValidateKeysRejectsUnknownListingValidSorted) {
+  const Config cfg = parse({"beta=x", "zeta=1"});
+  const std::string_view known[] = {"gamma", "beta", "alpha"};
+  try {
+    cfg.validate_keys(known);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "unknown config key 'zeta' (valid keys: alpha, beta, gamma)");
+  }
+}
+
+TEST(Config, ValidateKeysIgnoresEnvironmentVariables) {
+  ::setenv("R4NCL_NOT_A_KNOWN_KEY", "1", 1);
+  const Config cfg = parse({});
+  const std::string_view known[] = {"alpha"};
+  EXPECT_NO_THROW(cfg.validate_keys(known));
+  ::unsetenv("R4NCL_NOT_A_KNOWN_KEY");
 }
 
 }  // namespace

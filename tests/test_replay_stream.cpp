@@ -1,0 +1,442 @@
+// Streaming minibatch replay: ReplayStream-vs-sample() equivalence (entry
+// sets, rng stream, decompress_bits), scratch-pool memory bounds, engine
+// equivalence (replay_stream=1 reproduces the materialized run bit for bit),
+// the index-ring eviction regression (ring buffer == the historical
+// vector-erase semantics across every policy), and the CLI hardening fixes
+// (negative values, unknown keys) with their messages pinned.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/pretrain.hpp"
+#include "core/replay_stream.hpp"
+#include "core/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace r4ncl::core {
+namespace {
+
+data::SpikeRaster random_raster(std::size_t T, std::size_t C, double p, std::uint64_t seed) {
+  data::SpikeRaster r(T, C);
+  Rng rng(seed);
+  for (auto& b : r.bits) b = rng.bernoulli(p) ? 1 : 0;
+  return r;
+}
+
+/// Buffer with `n` random entries, label i % 5.
+LatentReplayBuffer filled_buffer(const compress::CodecConfig& codec, std::size_t n,
+                                 std::size_t T = 8, std::size_t C = 24) {
+  LatentReplayBuffer buffer(codec, T);
+  for (std::size_t i = 0; i < n; ++i) {
+    buffer.add(random_raster(T, C, 0.25, 100 + i), static_cast<std::int32_t>(i % 5));
+  }
+  return buffer;
+}
+
+void expect_same_samples(const data::Dataset& a, const std::vector<data::Sample>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].raster, b[i].raster) << "entry " << i;
+    EXPECT_EQ(a[i].label, b[i].label) << "entry " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stream vs sample(): identical draws, rng stream, and cost accounting
+// ---------------------------------------------------------------------------
+
+TEST(ReplayStream, CursorYieldsSampleEntrySetInOrder) {
+  for (const std::uint8_t bits : {std::uint8_t{0}, std::uint8_t{2}}) {
+    compress::CodecConfig codec{.ratio = 2, .latent_bits = bits};
+    const LatentReplayBuffer buffer = filled_buffer(codec, 20);
+    Rng rng_sample(42);
+    Rng rng_stream(42);
+    snn::SpikeOpStats stats_sample;
+    snn::SpikeOpStats stats_stream;
+    const data::Dataset drawn = buffer.sample(7, rng_sample, &stats_sample);
+    ReplayStream stream = buffer.stream(7, rng_stream, 3, &stats_stream);
+    std::vector<data::Sample> streamed;
+    while (!stream.done()) {
+      for (const data::Sample& s : stream.next()) streamed.push_back(s);
+    }
+    expect_same_samples(drawn, streamed);
+    EXPECT_EQ(stats_sample.decompress_bits, stats_stream.decompress_bits)
+        << "bits " << int(bits);
+    // Both paths must leave the shared replay Rng in the same state, or a
+    // replay_stream toggle would desynchronize every later epoch.
+    EXPECT_EQ(rng_sample(), rng_stream());
+  }
+}
+
+TEST(ReplayStream, FetchRandomAccessMatchesSample) {
+  const LatentReplayBuffer buffer = filled_buffer({.ratio = 1, .latent_bits = 4}, 16);
+  Rng rng_sample(9);
+  Rng rng_stream(9);
+  const data::Dataset drawn = buffer.sample(5, rng_sample);
+  ReplayStream stream = buffer.stream(5, rng_stream, 2);
+  // Out-of-order fetches (the shuffled-trainer access pattern).
+  for (const std::size_t i : {std::size_t{4}, std::size_t{0}, std::size_t{2},
+                              std::size_t{1}, std::size_t{3}}) {
+    const data::Sample& s = stream.fetch(i);
+    EXPECT_EQ(s.raster, drawn[i].raster) << "ordinal " << i;
+    EXPECT_EQ(s.label, drawn[i].label);
+    EXPECT_EQ(stream.label(i), drawn[i].label);
+  }
+}
+
+TEST(ReplayStream, WholeBufferDrawKeepsOrderAndConsumesNoRng) {
+  const LatentReplayBuffer buffer = filled_buffer({.ratio = 1}, 6);
+  Rng rng(31);
+  Rng untouched(31);
+  ReplayStream stream = buffer.stream(buffer.size(), rng, 4);
+  const data::Dataset all = buffer.materialize();
+  std::vector<data::Sample> streamed;
+  while (!stream.done()) {
+    for (const data::Sample& s : stream.next()) streamed.push_back(s);
+  }
+  expect_same_samples(all, streamed);
+  EXPECT_EQ(rng(), untouched()) << "materialize-equivalent draw must not consume rng";
+}
+
+TEST(ReplayStream, PeakAssemblyBytesBoundedByMinibatch) {
+  const std::size_t T = 8;
+  const std::size_t C = 24;
+  const LatentReplayBuffer buffer = filled_buffer({.ratio = 2}, 30, T, C);
+  const std::size_t raster_bytes = T * C;
+  Rng rng(5);
+  ReplayStream stream = buffer.stream(24, rng, 4);
+  while (!stream.done()) (void)stream.next();
+  EXPECT_EQ(stream.decoded(), 24u);
+  EXPECT_GE(stream.peak_assembly_bytes(), 4 * raster_bytes);
+  EXPECT_LT(stream.peak_assembly_bytes(), 24 * raster_bytes)
+      << "streamed peak must undercut full materialization";
+}
+
+TEST(ReplayStream, EmptyBufferStreamsNothing) {
+  const LatentReplayBuffer buffer({.ratio = 1}, 8);
+  Rng rng(1);
+  ReplayStream stream = buffer.stream(0, rng, 4);
+  EXPECT_TRUE(stream.empty());
+  EXPECT_TRUE(stream.done());
+  EXPECT_TRUE(stream.next().empty());
+}
+
+TEST(ReplayStream, DrawIndicesMatchesSampleContract) {
+  const LatentReplayBuffer buffer = filled_buffer({.ratio = 1}, 10);
+  // k >= size: identity order, no rng consumption.
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const auto all = buffer.draw_indices(10, rng_a);
+  EXPECT_EQ(all.size(), 10u);
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+  EXPECT_EQ(rng_a(), rng_b());
+  // k < size: distinct, in range, exactly k rng draws.
+  Rng rng_c(3);
+  const auto some = buffer.draw_indices(4, rng_c);
+  EXPECT_EQ(some.size(), 4u);
+  auto sorted = some;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_LT(sorted.back(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Index-ring eviction regression: ring == historical vector-erase semantics
+// ---------------------------------------------------------------------------
+
+/// The pre-ring reference implementation: a plain vector with erase(), the
+/// exact algorithm the buffer used before the index-ring refactor.  Runs the
+/// same policy logic with the same Rng consumption so any divergence in the
+/// ring's logical order shows up as a content mismatch.
+struct NaiveBufferModel {
+  struct Entry {
+    data::SpikeRaster raster;
+    std::int32_t label;
+  };
+  ReplayBufferConfig budget;
+  std::size_t entry_bytes;  // all entries share one geometry
+  Rng rng;
+  std::size_t stream_seen = 0;
+  std::size_t evictions = 0;
+  std::vector<Entry> entries;
+
+  NaiveBufferModel(const ReplayBufferConfig& b, std::size_t bytes)
+      : budget(b), entry_bytes(bytes), rng(b.seed) {}
+
+  bool add(const data::SpikeRaster& raster, std::int32_t label) {
+    ++stream_seen;
+    const std::size_t capacity = budget.capacity_bytes;
+    if (capacity > 0 && (entries.size() + 1) * entry_bytes > capacity) {
+      switch (budget.policy) {
+        case ReplayPolicy::kFifo:
+          while ((entries.size() + 1) * entry_bytes > capacity) evict(0);
+          break;
+        case ReplayPolicy::kReservoir: {
+          const std::uint64_t j = rng.uniform_index(stream_seen);
+          if (j >= entries.size()) {
+            ++evictions;
+            return false;
+          }
+          evict(static_cast<std::size_t>(j));
+          break;
+        }
+        case ReplayPolicy::kClassBalanced:
+          while ((entries.size() + 1) * entry_bytes > capacity) {
+            evict(balanced_victim(label));
+          }
+          break;
+      }
+    }
+    entries.push_back({raster, label});
+    return true;
+  }
+
+  void evict(std::size_t index) {
+    entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(index));
+    ++evictions;
+  }
+
+  std::size_t balanced_victim(std::int32_t incoming) const {
+    std::vector<std::pair<std::int32_t, std::size_t>> counts;
+    for (const auto& e : entries) {
+      auto it = std::find_if(counts.begin(), counts.end(),
+                             [&](const auto& p) { return p.first == e.label; });
+      if (it == counts.end()) {
+        counts.push_back({e.label, 1});
+      } else {
+        ++it->second;
+      }
+    }
+    std::sort(counts.begin(), counts.end());
+    std::int32_t heaviest = 0;
+    std::size_t heaviest_count = 0;
+    for (const auto& [label, count] : counts) {
+      const std::size_t effective = count + (label == incoming ? 1u : 0u);
+      if (effective > heaviest_count) {
+        heaviest = label;
+        heaviest_count = effective;
+      }
+    }
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].label == heaviest) return i;
+    }
+    return 0;
+  }
+};
+
+class RingEvictionRegression : public ::testing::TestWithParam<ReplayPolicy> {};
+
+TEST_P(RingEvictionRegression, LongStreamMatchesVectorEraseModel) {
+  const std::size_t T = 6;
+  const std::size_t C = 16;
+  // Raw storage so the model can compare decompressed content exactly.
+  const compress::CodecConfig codec{.ratio = 1};
+  LatentReplayBuffer probe(codec, T);
+  probe.add(random_raster(T, C, 0.3, 1), 0);
+  const std::size_t entry = probe.memory_bytes();
+
+  const ReplayBufferConfig budget{
+      .capacity_bytes = 7 * entry, .policy = GetParam(), .seed = 0xFEED};
+  LatentReplayBuffer ring(codec, T, budget);
+  NaiveBufferModel model(budget, entry);
+  // 400 adds — long enough that FIFO cycles the ring head through multiple
+  // compactions and reservoir/balanced hit many middle evictions.
+  for (int i = 0; i < 400; ++i) {
+    const auto r = random_raster(T, C, 0.3, 5000 + i);
+    const std::int32_t label = i % 7;
+    EXPECT_EQ(ring.add(r, label), model.add(r, label)) << "add " << i;
+  }
+  EXPECT_EQ(ring.evictions(), model.evictions);
+  EXPECT_EQ(ring.stream_seen(), model.stream_seen);
+  const data::Dataset got = ring.materialize();
+  ASSERT_EQ(got.size(), model.entries.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].raster, model.entries[i].raster) << "logical index " << i;
+    EXPECT_EQ(got[i].label, model.entries[i].label) << "logical index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, RingEvictionRegression,
+                         ::testing::Values(ReplayPolicy::kFifo, ReplayPolicy::kReservoir,
+                                           ReplayPolicy::kClassBalanced),
+                         [](const auto& info) { return std::string(to_string(info.param)); });
+
+// ---------------------------------------------------------------------------
+// Engine equivalence: replay_stream=1 reproduces the materialized run
+// ---------------------------------------------------------------------------
+
+PretrainConfig tiny_config() {
+  PretrainConfig cfg;
+  cfg.network.layer_sizes = {64, 32, 16, 8};
+  cfg.network.num_classes = 6;
+  cfg.network.seed = 21;
+  cfg.data_params.channels = 64;
+  cfg.data_params.classes = 6;
+  cfg.data_params.timesteps = 20;
+  cfg.data_params.ridge_width = 5.0;
+  cfg.data_params.position_pool = 8;
+  cfg.data_params.background_rate = 0.004;
+  cfg.data_params.rate_jitter = 0.08;
+  cfg.data_params.channel_jitter = 1.5;
+  cfg.data_params.time_jitter = 1.0;
+  cfg.data_params.seed = 23;
+  cfg.split.train_per_class = 10;
+  cfg.split.test_per_class = 4;
+  cfg.split.replay_per_class = 3;
+  cfg.split.seed = 29;
+  cfg.epochs = 12;
+  cfg.batch_size = 8;
+  return cfg;
+}
+
+SequentialRunResult run_tiny_stream(bool streamed, std::size_t replay_samples) {
+  const PretrainConfig pc = tiny_config();
+  const data::SyntheticShdGenerator generator(pc.data_params);
+  const data::SequentialTasks tasks = data::build_sequential_tasks(generator, pc.split, 2);
+  snn::SnnNetwork net(pc.network);
+  {
+    snn::AdamOptimizer opt;
+    snn::TrainOptions opts;
+    opts.epochs = pc.epochs;
+    opts.batch_size = pc.batch_size;
+    (void)snn::train_supervised(net, tasks.pretrain_train, opt, opts);
+  }
+  SequentialRunConfig run;
+  run.method = NclMethodConfig::replay4ncl(10);
+  run.method.lr_cl = 5e-4f;
+  run.method.batch_size = 8;
+  run.method.replay_samples_per_epoch = replay_samples;
+  run.method.replay_stream = streamed;
+  run.insertion_layer = 1;
+  run.epochs_per_task = 3;
+  run.replay_per_new_class = 3;
+  run.seed = 77;
+  return run_sequential(net, tasks, run);
+}
+
+TEST(ReplayStream, SequentialRunBitIdenticalToMaterializedRun) {
+  // Both the sampled draw (k > 0) and the full-buffer draw (k = 0): the
+  // streamed engine path must reproduce accuracies, buffer accounting, and
+  // modelled cost exactly — same Rng stream, same training batches.
+  for (const std::size_t replay_samples : {std::size_t{5}, std::size_t{0}}) {
+    const SequentialRunResult a = run_tiny_stream(false, replay_samples);
+    const SequentialRunResult b = run_tiny_stream(true, replay_samples);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (std::size_t i = 0; i < a.rows.size(); ++i) {
+      EXPECT_EQ(a.rows[i].acc_base, b.rows[i].acc_base) << "task " << i;
+      EXPECT_EQ(a.rows[i].acc_learned, b.rows[i].acc_learned) << "task " << i;
+      EXPECT_EQ(a.rows[i].acc_current, b.rows[i].acc_current) << "task " << i;
+      EXPECT_EQ(a.rows[i].latent_memory_bytes, b.rows[i].latent_memory_bytes);
+      EXPECT_EQ(a.rows[i].buffer_entries, b.rows[i].buffer_entries);
+      EXPECT_EQ(a.rows[i].buffer_evictions, b.rows[i].buffer_evictions);
+      EXPECT_EQ(a.rows[i].latency_ms, b.rows[i].latency_ms) << "task " << i;
+      EXPECT_EQ(a.rows[i].energy_uj, b.rows[i].energy_uj) << "task " << i;
+    }
+    EXPECT_EQ(a.total_latency_ms, b.total_latency_ms);
+    EXPECT_EQ(a.total_energy_uj, b.total_energy_uj);
+  }
+}
+
+TEST(ReplayStream, ContinualRunBitIdenticalToMaterializedRun) {
+  // Same check for the single-task engine (run_continual_learning).
+  PretrainConfig pc = tiny_config();
+  pc.split.new_class = 5;
+  static const PretrainedScenario scenario =
+      make_pretrained_scenario(pc, ::testing::TempDir(), true);
+  const auto run_once = [&](bool streamed) {
+    snn::SnnNetwork net = scenario.net.clone();
+    ClRunConfig cfg;
+    cfg.method = NclMethodConfig::replay4ncl(10);
+    cfg.method.batch_size = 8;
+    cfg.method.replay_samples_per_epoch = 4;
+    cfg.method.replay_stream = streamed;
+    cfg.insertion_layer = 2;
+    cfg.epochs = 4;
+    cfg.seed = 99;
+    return run_continual_learning(net, scenario.tasks, cfg);
+  };
+  const ClRunResult a = run_once(false);
+  const ClRunResult b = run_once(true);
+  EXPECT_EQ(a.final_acc_old, b.final_acc_old);
+  EXPECT_EQ(a.final_acc_new, b.final_acc_new);
+  EXPECT_EQ(a.latent_memory_bytes, b.latent_memory_bytes);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].loss, b.rows[i].loss) << "epoch " << i;
+    EXPECT_EQ(a.rows[i].acc_old, b.rows[i].acc_old) << "epoch " << i;
+    EXPECT_EQ(a.rows[i].acc_new, b.rows[i].acc_new) << "epoch " << i;
+    EXPECT_EQ(a.rows[i].latency_ms, b.rows[i].latency_ms) << "epoch " << i;
+    EXPECT_EQ(a.rows[i].energy_uj, b.rows[i].energy_uj) << "epoch " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CLI hardening: negative values and unknown keys fail loudly
+// ---------------------------------------------------------------------------
+
+TEST(ReplayCliOverrides, NegativeBudgetThrowsInsteadOfWrapping) {
+  Config cfg;
+  cfg.set("budget", "-1");
+  NclMethodConfig method = NclMethodConfig::replay4ncl();
+  try {
+    apply_replay_overrides(method, cfg);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("budget=-1"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("non-negative"), std::string::npos) << e.what();
+  }
+  // The method config must be untouched up to the failing knob's default.
+  EXPECT_EQ(NclMethodConfig::replay4ncl().replay_budget.capacity_bytes,
+            method.replay_budget.capacity_bytes);
+}
+
+TEST(ReplayCliOverrides, NegativeReplaySamplesThrowsInsteadOfWrapping) {
+  Config cfg;
+  cfg.set("replay_samples", "-3");
+  NclMethodConfig method = NclMethodConfig::replay4ncl();
+  try {
+    apply_replay_overrides(method, cfg);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("replay_samples=-3"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("non-negative"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ReplayCliOverrides, ReplayStreamKnobParses) {
+  Config cfg;
+  cfg.set("replay_stream", "1");
+  NclMethodConfig method = NclMethodConfig::replay4ncl();
+  EXPECT_FALSE(method.replay_stream);
+  apply_replay_overrides(method, cfg);
+  EXPECT_TRUE(method.replay_stream);
+}
+
+TEST(ReplayCliOverrides, UnknownKeyIsRejectedWithValidList) {
+  Config cfg;
+  cfg.set("latentbits", "4");  // typo for latent_bits
+  try {
+    validate_standard_keys(cfg);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown config key 'latentbits'"), std::string::npos) << what;
+    EXPECT_NE(what.find("latent_bits"), std::string::npos) << what;
+    EXPECT_NE(what.find("replay_stream"), std::string::npos) << what;
+  }
+}
+
+TEST(ReplayCliOverrides, ExtraKeysExtendTheVocabulary) {
+  Config cfg;
+  cfg.set("tasks", "4");
+  cfg.set("scale", "0.5");
+  EXPECT_THROW(validate_standard_keys(cfg), Error);
+  EXPECT_NO_THROW(validate_standard_keys(cfg, {"tasks"}));
+}
+
+}  // namespace
+}  // namespace r4ncl::core

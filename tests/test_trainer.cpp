@@ -104,7 +104,7 @@ TEST(Trainer, EmptyDatasetThrows) {
   SnnNetwork net(small_net(8, 2));
   AdamOptimizer opt;
   TrainOptions opts;
-  EXPECT_THROW((void)train_supervised(net, {}, opt, opts), Error);
+  EXPECT_THROW((void)train_supervised(net, data::Dataset{}, opt, opts), Error);
 }
 
 TEST(Trainer, EvaluateEmptyDatasetIsZero) {
