@@ -3,17 +3,26 @@
 // The paper's Fig. 12 treats latent memory as the scarce on-device resource
 // but lets the buffer grow with the stream; here the buffer gets a *fixed*
 // capacity and an eviction policy, the deployment reality of embedded latent
-// replay (Pellegrini et al.; Ravaglia et al.).  Two sweeps share one table:
+// replay (Pellegrini et al.; Ravaglia et al.).  Three sweeps share one table:
 //
 // 1. budget × policy (legacy storage): a sequential class stream runs once
 //    unbounded per method to establish the footprint and accuracy ceiling,
-//    then once per (budget fraction × policy) cell for Replay4NCL.
+//    then once per (budget fraction × policy) cell for Replay4NCL — the
+//    content-blind policies (fifo / reservoir / class_balanced) against the
+//    importance-aware pair (low_importance / importance_class_balanced,
+//    insert-time spike density refined by per-sample trainer error
+//    feedback).  The headline comparison lives at the tightest fraction.
 // 2. codec × latent_bits: both methods — Replay4NCL (raw T* = 40 storage)
 //    and SpikingLR (ratio-2 codec at T = 100) — run under one *fixed* byte
 //    capacity at stored depths 0 (legacy binary), 8, 4 and 2 bits/element.
 //    The capacity is sized so the 8-bit configuration is budget-starved;
 //    halving the depth must roughly double the resident entries (the
 //    Ravaglia et al. effect the quantized payload path exists for).
+// 3. budget schedules: the byte budget *moves* during the stream —
+//    linear:<full>:<quarter> (another subsystem claiming the region
+//    gradually) and step:<mid-task>:<quarter> (an abrupt reclaim) — each
+//    under reservoir and low_importance eviction, landing on the same final
+//    cap as sweep 1's tightest fraction so the end states compare directly.
 //
 // Reported per cell: final buffer bytes, resident entries, evictions, mean
 // stream accuracy, accuracy drop vs that method's unbounded run, and
@@ -90,22 +99,25 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cfg.get_int("replay_per_task", 8));
 
   const auto run_stream = [&](const core::NclMethodConfig& method, std::size_t capacity,
-                              core::ReplayPolicy policy) {
+                              core::ReplayPolicy policy,
+                              const core::BudgetSchedule& schedule = {}) {
     snn::SnnNetwork net = pretrained.clone();
     core::SequentialRunConfig bounded = run;
     bounded.method = method;
     bounded.method.replay_samples_per_epoch = run.method.replay_samples_per_epoch;
     bounded.method.replay_budget.capacity_bytes = capacity;
     bounded.method.replay_budget.policy = policy;
+    bounded.method.budget_schedule = schedule;
     return core::run_sequential(net, tasks, bounded);
   };
 
   ResultTable table({"method", "latent_bits", "budget_frac", "budget_bytes", "policy",
-                     "final_bytes", "entries", "evictions", "acc_base", "acc_learned",
-                     "delta_vs_unbounded", "latency_ms"});
+                     "schedule", "final_bytes", "entries", "evictions", "acc_base",
+                     "acc_learned", "delta_vs_unbounded", "latency_ms"});
   const auto add_row = [&](const core::NclMethodConfig& method, const std::string& frac,
                            std::size_t capacity, std::string_view policy,
-                           const core::SequentialRunResult& res, double reference_acc) {
+                           const core::SequentialRunResult& res, double reference_acc,
+                           const core::BudgetSchedule& schedule = {}) {
     const auto& last = res.rows.back();
     table.add_row();
     table.push(method.name);
@@ -113,6 +125,7 @@ int main(int argc, char** argv) {
     table.push(frac);
     table.push(static_cast<long long>(capacity));
     table.push(std::string(policy));
+    table.push(schedule.spec());
     table.push(static_cast<long long>(last.latent_memory_bytes));
     table.push(static_cast<long long>(last.buffer_entries));
     table.push(static_cast<long long>(last.buffer_evictions));
@@ -134,7 +147,9 @@ int main(int argc, char** argv) {
   const double fractions[] = {0.75, 0.5, 0.25};
   const core::ReplayPolicy policies[] = {core::ReplayPolicy::kFifo,
                                          core::ReplayPolicy::kReservoir,
-                                         core::ReplayPolicy::kClassBalanced};
+                                         core::ReplayPolicy::kClassBalanced,
+                                         core::ReplayPolicy::kLowImportance,
+                                         core::ReplayPolicy::kImportanceClassBalanced};
   for (const double frac : fractions) {
     const std::size_t capacity =
         static_cast<std::size_t>(static_cast<double>(full_bytes) * frac);
@@ -142,6 +157,32 @@ int main(int argc, char** argv) {
       const core::SequentialRunResult res = run_stream(run.method, capacity, policy);
       add_row(run.method, format_double(frac, 2), capacity, core::to_string(policy), res,
               full_acc);
+    }
+  }
+
+  // ---- Sweep 3: moving budgets (schedule × policy) ------------------------
+  // Both schedules land on sweep 1's tightest cap, so their final states
+  // compare directly against the const-budget 0.25 rows: linear cedes the
+  // region one task at a time, step halves the stream then reclaims at once.
+  {
+    const std::size_t quarter =
+        static_cast<std::size_t>(static_cast<double>(full_bytes) * 0.25);
+    core::BudgetSchedule linear;
+    linear.kind = core::BudgetScheduleKind::kLinear;
+    linear.linear_start = full_bytes;
+    linear.linear_end = quarter;
+    core::BudgetSchedule step;
+    step.kind = core::BudgetScheduleKind::kStep;
+    step.step_task = num_tasks / 2;
+    step.step_bytes = quarter;
+    for (const core::BudgetSchedule& schedule : {linear, step}) {
+      for (const core::ReplayPolicy policy :
+           {core::ReplayPolicy::kReservoir, core::ReplayPolicy::kLowImportance}) {
+        const core::SequentialRunResult res =
+            run_stream(run.method, full_bytes, policy, schedule);
+        add_row(run.method, "sched", res.rows.back().budget_bytes,
+                core::to_string(policy), res, full_acc, schedule);
+      }
     }
   }
 

@@ -17,6 +17,12 @@
 //           the per-epoch draw decodes one training batch at a time instead
 //           of materializing every raster up front — same entries, same
 //           accuracy, bounded replay-assembly memory)
+//       ./budget_stream policy=low_importance tasks=8      (importance-aware
+//           eviction: spike density at insert, overridden by the trainer's
+//           per-sample error feedback)
+//       ./budget_stream budget_schedule=linear:16384:4096 policy=low_importance
+//           (the budget shrinks at every task boundary — another subsystem
+//           claiming the replay region — with deterministic re-eviction)
 #include <cstdio>
 
 #include "core/experiment.hpp"
@@ -74,6 +80,10 @@ int main(int argc, char** argv) {
         entry * (tasks.replay_subset.size() + 3 * run.replay_per_new_class);
   }
   const std::size_t budget = run.method.replay_budget.capacity_bytes;
+  if (run.method.budget_schedule.active()) {
+    std::printf("budget schedule: %s (re-applied at every task boundary)\n",
+                run.method.budget_schedule.spec().c_str());
+  }
   if (run.method.replay_stream) {
     std::printf("replay draw: streamed (ReplayStream fused into batch assembly, "
                 "%zu samples/epoch, batches of %zu)\n",
@@ -91,10 +101,13 @@ int main(int argc, char** argv) {
   const core::SequentialRunResult res = core::run_sequential(net, tasks, run);
   std::printf("task class  mem[B]/budget  entries evicted  acc_base acc_stream\n");
   for (const auto& row : res.rows) {
+    // row.budget_bytes is the cap actually in force for this task — it
+    // tracks the schedule when one is active and equals `budget` otherwise.
     std::printf("%4zu %5d  %6zu/%-6zu  %7zu %7zu  %7.1f%% %9.1f%%\n", row.task_index,
-                row.class_id, row.latent_memory_bytes, budget, row.buffer_entries,
-                row.buffer_evictions, 100.0 * row.acc_base, 100.0 * row.acc_learned);
-    if (row.latent_memory_bytes > budget) {
+                row.class_id, row.latent_memory_bytes, row.budget_bytes,
+                row.buffer_entries, row.buffer_evictions, 100.0 * row.acc_base,
+                100.0 * row.acc_learned);
+    if (row.budget_bytes > 0 && row.latent_memory_bytes > row.budget_bytes) {
       std::printf("BUG: budget exceeded\n");
       return 1;
     }

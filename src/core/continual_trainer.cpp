@@ -67,8 +67,17 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
   result.insertion_layer = config.insertion_layer;
 
   // ---- Phase 1: network preparation (Alg. 1 lines 6–20) -----------------
-  LatentReplayBuffer buffer(method.storage_codec, method.cl_timesteps,
-                            method.replay_budget.with_run_seed(config.seed));
+  // A budget schedule sees this engine as a 1-task stream: the task-0
+  // capacity applies from preparation on.  The default const schedule leaves
+  // capacity_bytes untouched, so unscheduled runs stay bit-identical.
+  ReplayBufferConfig run_budget = method.replay_budget.with_run_seed(config.seed);
+  if (method.budget_schedule.active()) {
+    run_budget.capacity_bytes =
+        method.budget_schedule.capacity_for_task(0, 1, run_budget.capacity_bytes);
+  }
+  LatentReplayBuffer buffer(method.storage_codec, method.cl_timesteps, run_budget);
+  const bool importance_feedback = method.use_replay && method.importance_feedback &&
+                                   is_importance_policy(method.replay_budget.policy);
   if (method.use_replay) {
     const data::Dataset replay_rescaled =
         data::time_rescale(tasks.replay_subset, method.cl_timesteps, method.rescale);
@@ -115,6 +124,7 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
     opts.policy = policy;
     opts.shuffle_seed = epoch_rng();
     std::vector<snn::EpochRecord> history;
+    const std::size_t new_count = mixed.size();
     if (method.use_replay && method.replay_stream) {
       // A_LR as a streaming cursor: the same draw from the same Rng as the
       // materialized path below (bit-identical entry sets and training
@@ -130,12 +140,25 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
       source.fetch = [&mixed, &stream](std::size_t i) -> const data::Sample& {
         return i < mixed.size() ? mixed[i] : stream.fetch(i - mixed.size());
       };
+      if (importance_feedback) {
+        opts.sample_outcome = buffer.outcome_hook(stream.drawn(), new_count);
+      }
       history = snn::train_supervised(net, source, optimizer, opts);
     } else {
       // A_LR from the buffer (decompression charged to this epoch).  When
       // the method caps its per-epoch replay appetite, only the drawn
       // entries are decompressed — the budgeted-stream hot path.
-      if (method.use_replay) {
+      std::vector<std::size_t> drawn;
+      if (method.use_replay && importance_feedback) {
+        // sample_into() is sample() plus the drawn logical indices, so the
+        // per-sample outcome hook can route each replay row's error back to
+        // its buffer entry (identical rng consumption and charging).
+        const std::size_t draw = method.replay_samples_per_epoch > 0
+                                     ? method.replay_samples_per_epoch
+                                     : buffer.size();
+        drawn = buffer.sample_into(draw, replay_rng, mixed, &row.stats);
+        opts.sample_outcome = buffer.outcome_hook(drawn, new_count);
+      } else if (method.use_replay) {
         data::Dataset replay =
             method.replay_samples_per_epoch > 0
                 ? buffer.sample(method.replay_samples_per_epoch, replay_rng, &row.stats)

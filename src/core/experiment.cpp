@@ -84,13 +84,32 @@ void apply_replay_overrides(NclMethodConfig& method, const Config& cfg) {
               "latent_bits=" << bits << " (expected 0|1|2|4|8)");
   method.storage_codec.latent_bits = static_cast<std::uint8_t>(bits);
   method.replay_stream = cfg.get_bool("replay_stream", method.replay_stream);
+  // The schedule/seed knobs validate eagerly, at parse time: a typo in a
+  // sweep config must fail before any pre-training or task runs, not at the
+  // first task boundary (or, for the seed, never visibly at all).
+  if (const auto schedule = cfg.get("budget_schedule")) {
+    method.budget_schedule = parse_budget_schedule(*schedule);
+  }
+  if (const auto seed_text = cfg.get("replay_seed")) {
+    // Strict decimal parse (get_int would map "abc" to the fallback and
+    // "0xdeadbeef" to 0, silently running the wrong seed); also admits the
+    // full uint64 range.
+    std::uint64_t seed = 0;
+    R4NCL_CHECK(parse_unsigned_decimal(*seed_text, seed),
+                "replay_seed=" << *seed_text
+                               << " must be a non-negative eviction seed");
+    method.replay_budget.seed = seed;
+  }
+  method.importance_feedback =
+      cfg.get_bool("importance_feedback", method.importance_feedback);
 }
 
 std::vector<std::string_view> standard_cli_keys() {
-  return {"budget",         "cache",          "cache_dir", "epochs",
-          "latent_bits",    "policy",         "pretrain_epochs",
-          "replay_samples", "replay_stream",  "scale",
-          "threads",        "verbose"};
+  return {"budget",          "budget_schedule",     "cache",
+          "cache_dir",       "epochs",              "importance_feedback",
+          "latent_bits",     "policy",              "pretrain_epochs",
+          "replay_samples",  "replay_seed",         "replay_stream",
+          "scale",           "threads",             "verbose"};
 }
 
 void validate_standard_keys(const Config& cfg,

@@ -44,15 +44,22 @@ NclMethodConfig bench_spiking_lr();
 
 /// Applies the replay-budget CLI knobs to a method config:
 ///   budget=<bytes>          replay-buffer byte budget (0 = unbounded)
-///   policy=<name>           fifo | reservoir | class_balanced
+///   policy=<name>           fifo | reservoir | class_balanced |
+///                           low_importance | importance_class_balanced
+///   budget_schedule=<spec>  per-task budget evolution: const |
+///                           linear:<start>:<end> | step:<task>:<bytes>
 ///   replay_samples=<k>      per-epoch sample(k) draw (0 = full materialize)
 ///   latent_bits=<b>         stored payload depth: 0 = legacy binary,
 ///                           1/2/4/8 = quantized group counts
 ///   replay_stream=<0|1>     stream the per-epoch draw through a
 ///                           ReplayStream fused into batch assembly
+///   replay_seed=<n>         the buffer's private eviction-stream seed
+///   importance_feedback=<0|1>  feed per-sample replay errors back into the
+///                           importance scores (importance policies only)
 /// Keys absent from `cfg` (and the R4NCL_* environment) leave the method's
-/// own defaults untouched.  Negative byte/count values throw Error instead
-/// of wrapping to ~SIZE_MAX.
+/// own defaults untouched.  Every value validates eagerly with a pinned
+/// message naming the valid set — negative bytes/counts/seeds, policy
+/// typos and malformed schedules all throw before any training runs.
 void apply_replay_overrides(NclMethodConfig& method, const Config& cfg);
 
 /// The CLI vocabulary every standard bench/example understands: the scenario

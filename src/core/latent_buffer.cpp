@@ -1,7 +1,9 @@
 #include "core/latent_buffer.hpp"
 
 #include <algorithm>
+#include <limits>
 
+#include "util/config.hpp"
 #include "util/error.hpp"
 
 namespace r4ncl::core {
@@ -11,6 +13,8 @@ std::string_view to_string(ReplayPolicy policy) noexcept {
     case ReplayPolicy::kFifo: return "fifo";
     case ReplayPolicy::kReservoir: return "reservoir";
     case ReplayPolicy::kClassBalanced: return "class_balanced";
+    case ReplayPolicy::kLowImportance: return "low_importance";
+    case ReplayPolicy::kImportanceClassBalanced: return "importance_class_balanced";
   }
   return "unknown";
 }
@@ -19,8 +23,102 @@ ReplayPolicy parse_replay_policy(std::string_view name) {
   if (name == "fifo") return ReplayPolicy::kFifo;
   if (name == "reservoir") return ReplayPolicy::kReservoir;
   if (name == "class_balanced" || name == "balanced") return ReplayPolicy::kClassBalanced;
+  if (name == "low_importance") return ReplayPolicy::kLowImportance;
+  if (name == "importance_class_balanced" || name == "importance_balanced") {
+    return ReplayPolicy::kImportanceClassBalanced;
+  }
   throw Error("unknown replay policy '" + std::string(name) +
-              "' (expected fifo|reservoir|class_balanced)");
+              "' (expected fifo|reservoir|class_balanced|low_importance|"
+              "importance_class_balanced)");
+}
+
+std::size_t BudgetSchedule::capacity_for_task(std::size_t task, std::size_t num_tasks,
+                                              std::size_t base_capacity) const noexcept {
+  switch (kind) {
+    case BudgetScheduleKind::kConst: return base_capacity;
+    case BudgetScheduleKind::kLinear: {
+      if (num_tasks <= 1 || task == 0) return linear_start;
+      if (task >= num_tasks - 1) return linear_end;
+      // Integer interpolation, rounded to the nearest byte so refreshed
+      // sweeps reproduce across platforms (no floating-point in the path).
+      // delta*task is decomposed through quotient/remainder so byte counts
+      // near SIZE_MAX (which the parser admits) cannot wrap: q*task <= delta
+      // and r*task < span^2 (task counts are small).  Exact:
+      // (delta*task + span/2) / span == q*task + (r*task + span/2) / span.
+      const std::size_t span = num_tasks - 1;
+      const auto scaled = [span, task](std::size_t delta) {
+        return (delta / span) * task + ((delta % span) * task + span / 2) / span;
+      };
+      if (linear_end >= linear_start) {
+        return linear_start + scaled(linear_end - linear_start);
+      }
+      return linear_start - scaled(linear_start - linear_end);
+    }
+    case BudgetScheduleKind::kStep:
+      return task >= step_task ? step_bytes : base_capacity;
+  }
+  return base_capacity;
+}
+
+std::string BudgetSchedule::spec() const {
+  switch (kind) {
+    case BudgetScheduleKind::kConst: return "const";
+    case BudgetScheduleKind::kLinear:
+      return "linear:" + std::to_string(linear_start) + ":" + std::to_string(linear_end);
+    case BudgetScheduleKind::kStep:
+      return "step:" + std::to_string(step_task) + ":" + std::to_string(step_bytes);
+  }
+  return "const";
+}
+
+namespace {
+
+/// The pinned parse_budget_schedule() failure: every malformed spec names
+/// the valid forms, so sweep-config typos cannot survive to a task boundary.
+[[noreturn]] void throw_bad_schedule(std::string_view spec) {
+  throw Error("unknown budget_schedule '" + std::string(spec) +
+              "' (expected const|linear:<start>:<end>|step:<task>:<bytes>)");
+}
+
+/// Parses a non-negative integer field of a schedule spec; rejects empty,
+/// signed, non-digit, or size_t-overflowing fields through the pinned
+/// message (a wrapped byte count would silently mean "unbounded").
+std::size_t schedule_field(std::string_view spec, std::string_view field) {
+  std::uint64_t value = 0;
+  if (!parse_unsigned_decimal(field, value) ||
+      value > std::numeric_limits<std::size_t>::max()) {
+    throw_bad_schedule(spec);
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+BudgetSchedule parse_budget_schedule(std::string_view spec) {
+  BudgetSchedule schedule;
+  if (spec == "const") return schedule;
+  const std::size_t head_end = spec.find(':');
+  if (head_end == std::string_view::npos) throw_bad_schedule(spec);
+  const std::string_view head = spec.substr(0, head_end);
+  const std::string_view rest = spec.substr(head_end + 1);
+  const std::size_t mid = rest.find(':');
+  if (mid == std::string_view::npos || rest.find(':', mid + 1) != std::string_view::npos) {
+    throw_bad_schedule(spec);
+  }
+  const std::size_t first = schedule_field(spec, rest.substr(0, mid));
+  const std::size_t second = schedule_field(spec, rest.substr(mid + 1));
+  if (head == "linear") {
+    schedule.kind = BudgetScheduleKind::kLinear;
+    schedule.linear_start = first;
+    schedule.linear_end = second;
+  } else if (head == "step") {
+    schedule.kind = BudgetScheduleKind::kStep;
+    schedule.step_task = first;
+    schedule.step_bytes = second;
+  } else {
+    throw_bad_schedule(spec);
+  }
+  return schedule;
 }
 
 LatentReplayBuffer::LatentReplayBuffer(const compress::CodecConfig& codec,
@@ -53,6 +151,10 @@ bool LatentReplayBuffer::add(const data::SpikeRaster& raster, std::int32_t label
   Entry entry;
   entry.packed = compress::compress_packed(raster, codec_);
   entry.label = label;
+  // The density importance proxy is recorded for every policy (the raster is
+  // already in cache from compression), so switching a buffer's consumer to
+  // an importance policy mid-run needs no re-scoring pass.
+  entry.density = static_cast<float>(raster.density());
   const std::size_t bytes = entry_bytes(entry);
   ++stream_seen_;
 
@@ -62,28 +164,35 @@ bool LatentReplayBuffer::add(const data::SpikeRaster& raster, std::int32_t label
                                                      << " cannot hold a single " << bytes
                                                      << "-byte entry");
     if (memory_bytes_ + bytes > capacity) {
-      switch (budget_.policy) {
-        case ReplayPolicy::kFifo:
-          while (memory_bytes_ + bytes > capacity) evict_at(0);
-          break;
-        case ReplayPolicy::kReservoir: {
-          // Algorithm R over the lifetime stream: keep the newcomer with
-          // probability size/stream_seen, displacing a uniform victim.  All
-          // entries share one geometry, so one eviction always makes room.
-          const std::uint64_t j = rng_.uniform_index(stream_seen_);
-          if (j >= size()) {
-            ++evictions_;  // the incoming entry is the one displaced
-            return false;
-          }
-          evict_at(static_cast<std::size_t>(j));
-          break;
+      if (budget_.policy == ReplayPolicy::kReservoir) {
+        // Algorithm R over the lifetime stream: keep the newcomer with
+        // probability size/stream_seen, displacing a uniform victim.  All
+        // entries share one geometry, so one eviction always makes room.
+        const std::uint64_t j = rng_.uniform_index(stream_seen_);
+        if (j >= size()) {
+          ++evictions_;  // the incoming entry is the one displaced
+          return false;
         }
-        case ReplayPolicy::kClassBalanced:
-          // The newcomer counts toward its class when picking the victim so
-          // a stream heavy in one class displaces its own entries, not the
-          // minority classes'.
-          while (memory_bytes_ + bytes > capacity) evict_at(balanced_victim(label));
-          break;
+        evict_at(static_cast<std::size_t>(j));
+      } else if (budget_.policy == ReplayPolicy::kLowImportance) {
+        // One scan settles both questions: whether the *incoming* entry is
+        // the one displaced, and otherwise which stored entry gives way.
+        // The newcomer competes density-vs-density only — it is rejected
+        // when strictly sparser than a victim still on its density proxy
+        // (so a long sparse tail cannot cycle out retained knowledge), but
+        // a trainer-scored victim (outcome EMA, a different scale) never
+        // blocks admission: saturated error scores on decaying old entries
+        // must not starve new-task latents out of the buffer.
+        const std::size_t victim = least_important_victim();
+        const Entry& least = entry_at(victim);
+        if (!least.outcome_valid && entry.density < least.density) {
+          ++evictions_;
+          return false;
+        }
+        evict_at(victim);
+        evict_until_fits(capacity, bytes, &label);  // no-op: equal geometry
+      } else {
+        evict_until_fits(capacity, bytes, &label);
       }
     }
   }
@@ -136,21 +245,98 @@ void LatentReplayBuffer::evict_at(std::size_t index) {
   ++evictions_;
 }
 
-std::size_t LatentReplayBuffer::balanced_victim(std::int32_t incoming) const {
+std::int32_t LatentReplayBuffer::heaviest_class(const std::int32_t* incoming) const {
   std::int32_t heaviest = 0;
   std::size_t heaviest_count = 0;
   for (const auto& [label, count] : class_counts_) {
-    const std::size_t effective = count + (label == incoming ? 1u : 0u);
+    const std::size_t effective =
+        count + (incoming != nullptr && label == *incoming ? 1u : 0u);
     if (effective > heaviest_count) {
       heaviest = label;
       heaviest_count = effective;
     }
   }
+  return heaviest;
+}
+
+std::size_t LatentReplayBuffer::balanced_victim(const std::int32_t* incoming) const {
+  const std::int32_t heaviest = heaviest_class(incoming);
   const std::size_t n = size();
   for (std::size_t i = 0; i < n; ++i) {
     if (entry_at(i).label == heaviest) return i;
   }
   throw Error("class accounting out of sync with entries");
+}
+
+std::size_t LatentReplayBuffer::least_important_victim() const {
+  const std::size_t n = size();
+  R4NCL_CHECK(n > 0, "no entries to evict");
+  std::size_t victim = 0;
+  float lowest = entry_at(0).importance();
+  // Strict < keeps ties on the oldest entry, so an all-equal-score buffer
+  // degrades to FIFO — deterministic without consuming any rng.
+  for (std::size_t i = 1; i < n; ++i) {
+    const float score = entry_at(i).importance();
+    if (score < lowest) {
+      victim = i;
+      lowest = score;
+    }
+  }
+  return victim;
+}
+
+std::size_t LatentReplayBuffer::importance_balanced_victim(
+    const std::int32_t* incoming) const {
+  const std::int32_t heaviest = heaviest_class(incoming);
+  const std::size_t n = size();
+  std::size_t victim = n;
+  float lowest = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Entry& e = entry_at(i);
+    if (e.label != heaviest) continue;
+    const float score = e.importance();
+    if (victim == n || score < lowest) {
+      victim = i;
+      lowest = score;
+    }
+  }
+  if (victim == n) throw Error("class accounting out of sync with entries");
+  return victim;
+}
+
+void LatentReplayBuffer::evict_until_fits(std::size_t capacity, std::size_t bytes,
+                                          const std::int32_t* incoming) {
+  while (memory_bytes_ + bytes > capacity) {
+    switch (budget_.policy) {
+      case ReplayPolicy::kFifo:
+        evict_at(0);
+        break;
+      case ReplayPolicy::kReservoir:
+        // Shrink-only branch (add() handles Algorithm R before calling
+        // here): displace a uniform stored victim so the retained set stays
+        // stream-uniform under the tighter cap.
+        evict_at(static_cast<std::size_t>(rng_.uniform_index(size())));
+        break;
+      case ReplayPolicy::kClassBalanced:
+        // The newcomer counts toward its class when picking the victim so
+        // a stream heavy in one class displaces its own entries, not the
+        // minority classes'.
+        evict_at(balanced_victim(incoming));
+        break;
+      case ReplayPolicy::kLowImportance:
+        evict_at(least_important_victim());
+        break;
+      case ReplayPolicy::kImportanceClassBalanced:
+        evict_at(importance_balanced_victim(incoming));
+        break;
+    }
+  }
+}
+
+void LatentReplayBuffer::set_capacity(std::size_t new_capacity_bytes) {
+  budget_.capacity_bytes = new_capacity_bytes;
+  if (new_capacity_bytes == 0 || memory_bytes_ <= new_capacity_bytes) return;
+  evict_until_fits(new_capacity_bytes, 0, nullptr);
 }
 
 std::vector<std::pair<std::int32_t, std::size_t>> LatentReplayBuffer::class_occupancy()
@@ -176,6 +362,27 @@ data::Sample LatentReplayBuffer::decompress_entry(const Entry& e,
 std::int32_t LatentReplayBuffer::label_at(std::size_t index) const {
   R4NCL_CHECK(index < size(), "entry " << index << " out of " << size());
   return entry_at(index).label;
+}
+
+float LatentReplayBuffer::density_at(std::size_t index) const {
+  R4NCL_CHECK(index < size(), "entry " << index << " out of " << size());
+  return entry_at(index).density;
+}
+
+float LatentReplayBuffer::importance_at(std::size_t index) const {
+  R4NCL_CHECK(index < size(), "entry " << index << " out of " << size());
+  return entry_at(index).importance();
+}
+
+void LatentReplayBuffer::report_outcome(std::size_t index, float score) {
+  R4NCL_CHECK(index < size(), "entry " << index << " out of " << size());
+  Entry& e = entry_at(index);
+  if (e.outcome_valid) {
+    e.outcome += kOutcomeEma * (score - e.outcome);
+  } else {
+    e.outcome = score;
+    e.outcome_valid = true;
+  }
 }
 
 void LatentReplayBuffer::decompress_into(std::size_t index, data::Sample& out,
@@ -215,12 +422,23 @@ std::vector<std::size_t> LatentReplayBuffer::draw_indices(std::size_t k, Rng& rn
   return indices;
 }
 
+std::vector<std::size_t> LatentReplayBuffer::sample_into(std::size_t k, Rng& rng,
+                                                         data::Dataset& out,
+                                                         snn::SpikeOpStats* stats) const {
+  std::vector<std::size_t> drawn = draw_indices(k, rng);
+  out.reserve(out.size() + drawn.size());
+  for (const std::size_t index : drawn) {
+    data::Sample s;
+    decompress_into(index, s, stats);
+    out.push_back(std::move(s));
+  }
+  return drawn;
+}
+
 data::Dataset LatentReplayBuffer::sample(std::size_t k, Rng& rng,
                                          snn::SpikeOpStats* stats) const {
-  const std::vector<std::size_t> drawn = draw_indices(k, rng);
   data::Dataset out;
-  out.reserve(drawn.size());
-  for (const std::size_t i : drawn) out.push_back(decompress_entry(entry_at(i), stats));
+  (void)sample_into(k, rng, out, stats);
   return out;
 }
 

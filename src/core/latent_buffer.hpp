@@ -10,7 +10,7 @@
 //
 // The buffer operates under an explicit *byte budget* (ReplayBufferConfig):
 // embedded deployments give latent replay a fixed memory region, so a stream
-// of arriving classes must trigger eviction rather than growth.  Three
+// of arriving classes must trigger eviction rather than growth.  Five
 // selection policies are provided (cf. Pellegrini et al., "Latent Replay for
 // Real-Time Continual Learning"; Ravaglia et al., TinyML quantized latent
 // replays):
@@ -19,10 +19,28 @@
 //                    retained with equal probability capacity/N
 //   kClassBalanced — evict the oldest entry of the most-represented class,
 //                    driving per-class occupancy toward equality
+//   kLowImportance — content-aware: evict the least-important entry.
+//                    Importance is the spike density recorded at insert time
+//                    until the trainer feeds back a running loss/error score
+//                    via report_outcome(), which then supersedes the static
+//                    proxy.  An incoming entry strictly sparser than a
+//                    victim still on its density proxy is rejected instead
+//                    (density-vs-density only — trainer-scored victims never
+//                    block admission, so saturated error scores cannot
+//                    starve new-task latents out of the buffer).
+//   kImportanceClassBalanced — balance first, then score: evict the
+//                    least-important entry of the most-represented class.
 // capacity_bytes == 0 keeps the historical unbounded behaviour.
+//
+// The byte budget itself may move at task boundaries (BudgetSchedule): real
+// devices share the replay region with other subsystems, so the run engines
+// re-apply the scheduled capacity before each task and the buffer re-evicts
+// deterministically (per its policy and private rng) down to the new cap.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -41,14 +59,67 @@ enum class ReplayPolicy : std::uint8_t {
   kFifo,           // oldest entry evicted first
   kReservoir,      // stream-uniform retention (Algorithm R)
   kClassBalanced,  // evict oldest entry of the most-represented class
+  kLowImportance,  // evict (or reject) the least-important entry
+  kImportanceClassBalanced,  // least-important entry of the heaviest class
 };
 
-/// Canonical lowercase name ("fifo", "reservoir", "class_balanced").
+/// Canonical lowercase name ("fifo", "reservoir", "class_balanced",
+/// "low_importance", "importance_class_balanced").
 [[nodiscard]] std::string_view to_string(ReplayPolicy policy) noexcept;
 
-/// Inverse of to_string(); also accepts "balanced".  Throws Error on unknown
-/// names (the CLI surfaces route user input through this).
+/// Inverse of to_string(); also accepts "balanced" and "importance_balanced".
+/// Throws Error on unknown names (the CLI surfaces route user input through
+/// this, so the message pins the full valid set).
 [[nodiscard]] ReplayPolicy parse_replay_policy(std::string_view name);
+
+/// Whether a policy consults per-entry importance scores (and therefore
+/// benefits from the trainer's report_outcome() feedback).
+[[nodiscard]] constexpr bool is_importance_policy(ReplayPolicy policy) noexcept {
+  return policy == ReplayPolicy::kLowImportance ||
+         policy == ReplayPolicy::kImportanceClassBalanced;
+}
+
+/// How the byte budget evolves over a task stream.  `const` keeps
+/// ReplayBufferConfig::capacity_bytes for the whole run (the historical
+/// behaviour); the other kinds model a replay region another subsystem
+/// claims progressively (linear) or abruptly (step).
+enum class BudgetScheduleKind : std::uint8_t {
+  kConst,   // capacity_bytes for every task
+  kLinear,  // interpolate start → end bytes across the task stream
+  kStep,    // capacity_bytes until step_task, step_bytes from then on
+};
+
+/// Per-task byte-budget schedule, applied by the run engines at task
+/// boundaries via LatentReplayBuffer::set_capacity().
+struct BudgetSchedule {
+  BudgetScheduleKind kind = BudgetScheduleKind::kConst;
+  /// kLinear endpoints (bytes at the first / last task of the stream).
+  std::size_t linear_start = 0;
+  std::size_t linear_end = 0;
+  /// kStep: from task index `step_task` on, the capacity becomes step_bytes.
+  std::size_t step_task = 0;
+  std::size_t step_bytes = 0;
+
+  /// kConst schedules never override the run's base capacity.
+  [[nodiscard]] bool active() const noexcept { return kind != BudgetScheduleKind::kConst; }
+
+  /// Capacity for task `task` of a `num_tasks`-task stream whose base
+  /// (unscheduled) capacity is `base_capacity`.  kLinear interpolates
+  /// linearly and rounds to the nearest byte; a single-task stream uses
+  /// linear_start.  0 means unbounded, exactly as in ReplayBufferConfig.
+  [[nodiscard]] std::size_t capacity_for_task(std::size_t task, std::size_t num_tasks,
+                                              std::size_t base_capacity) const noexcept;
+
+  /// Canonical spec string ("const", "linear:<start>:<end>",
+  /// "step:<task>:<bytes>") — the inverse of parse_budget_schedule().
+  [[nodiscard]] std::string spec() const;
+};
+
+/// Parses a schedule spec: "const" | "linear:<start>:<end>" |
+/// "step:<task>:<bytes>" (byte/task fields are non-negative integers).
+/// Throws Error naming the valid forms on anything else — the CLI surfaces
+/// validate eagerly through this, so a typo fails before any training runs.
+[[nodiscard]] BudgetSchedule parse_budget_schedule(std::string_view spec);
 
 /// Byte budget + eviction policy of a replay buffer.
 struct ReplayBufferConfig {
@@ -74,6 +145,11 @@ struct ReplayBufferConfig {
 /// full-materialize path never consumes from that stream, so legacy runs
 /// stay bit-identical.
 inline constexpr std::uint64_t kReplayDrawSeedSalt = 0xA11CE5EEDBEEFULL;
+
+/// Smoothing factor of the report_outcome() running score: each report moves
+/// the stored score a quarter of the way toward the new observation, so one
+/// bad epoch cannot un-pin an entry the trainer consistently gets wrong.
+inline constexpr float kOutcomeEma = 0.25f;
 
 class LatentReplayBuffer {
  public:
@@ -101,6 +177,14 @@ class LatentReplayBuffer {
   [[nodiscard]] const compress::CodecConfig& codec() const noexcept { return codec_; }
   [[nodiscard]] const ReplayBufferConfig& budget() const noexcept { return budget_; }
   [[nodiscard]] std::size_t capacity_bytes() const noexcept { return budget_.capacity_bytes; }
+
+  /// Moves the byte budget (a BudgetSchedule boundary).  Growing (or 0 =
+  /// unbounded) never touches stored entries; shrinking re-evicts per the
+  /// configured policy — FIFO from the head, reservoir a uniform victim from
+  /// the buffer's private rng, the class/importance policies their usual
+  /// victim — until memory_bytes() fits, so the same seed and stream yield a
+  /// byte-identical buffer on every run.
+  void set_capacity(std::size_t new_capacity_bytes);
 
   /// Entries offered to add() over the buffer's lifetime.
   [[nodiscard]] std::size_t stream_seen() const noexcept { return stream_seen_; }
@@ -135,6 +219,15 @@ class LatentReplayBuffer {
   /// would decompress.
   [[nodiscard]] std::vector<std::size_t> draw_indices(std::size_t k, Rng& rng) const;
 
+  /// sample() that also tells the caller *which* entries it drew: appends
+  /// the decoded entries to `out` (same rng consumption, bytes and
+  /// decompress_bits charging as sample()/materialize()) and returns the
+  /// drawn logical indices — the importance-feedback replay assembly both
+  /// run engines share, so the per-sample outcome hook can route each
+  /// replayed row's error back to its entry via report_outcome().
+  std::vector<std::size_t> sample_into(std::size_t k, Rng& rng, data::Dataset& out,
+                                       snn::SpikeOpStats* stats = nullptr) const;
+
   /// Opens a streaming minibatch cursor over a draw (see ReplayStream):
   /// the same entry set as sample(k, rng) for the same Rng, but decoded at
   /// most `minibatch` rasters at a time into a reusable scratch pool, with
@@ -145,6 +238,37 @@ class LatentReplayBuffer {
 
   /// Label of the entry at logical index `index` (no decode).
   [[nodiscard]] std::int32_t label_at(std::size_t index) const;
+
+  /// Spike density of the entry at logical `index`, recorded at add() time
+  /// (spikes / (timesteps × channels) of the *source* raster) — the static
+  /// importance proxy, free because add() already walks the raster.
+  [[nodiscard]] float density_at(std::size_t index) const;
+
+  /// Effective importance of the entry at logical `index`: the running
+  /// report_outcome() score once the trainer has reported one, the insert
+  /// density before that.  Higher = more informative = evicted later.
+  [[nodiscard]] float importance_at(std::size_t index) const;
+
+  /// Trainer feedback hook: folds a loss/error observation for the entry at
+  /// logical `index` into its running importance score (EMA, kOutcomeEma).
+  /// Run engines call this after each replay draw with the per-sample top-1
+  /// error, so entries the network keeps getting wrong are retained longest.
+  /// Touches only score bookkeeping — safe while a ReplayStream is open, and
+  /// a no-op for the content-blind policies' determinism (scores are always
+  /// maintained but only the importance policies read them).
+  void report_outcome(std::size_t index, float score);
+
+  /// Builds the snn::TrainOptions::sample_outcome callback both run engines
+  /// install: training-set indices >= `new_count` are replay rows whose
+  /// logical buffer index is `drawn[i - new_count]`; their errors route to
+  /// report_outcome().  `drawn` is borrowed (a sample_into() result or
+  /// ReplayStream::drawn()) and must outlive the returned hook.
+  [[nodiscard]] std::function<void(std::size_t, float)> outcome_hook(
+      const std::vector<std::size_t>& drawn, std::size_t new_count) {
+    return [this, &drawn, new_count](std::size_t i, float error) {
+      if (i >= new_count) report_outcome(drawn[i - new_count], error);
+    };
+  }
 
   /// Decompresses the entry at logical `index` into `out`, reusing its
   /// allocations (and `levels_scratch`, when given, for quantized payload
@@ -169,6 +293,15 @@ class LatentReplayBuffer {
   struct Entry {
     compress::PackedRaster packed;
     std::int32_t label = 0;
+    /// Spike density of the source raster at add() time (importance proxy).
+    float density = 0.0f;
+    /// Running trainer-fed loss/error score; valid once outcome_valid.
+    float outcome = 0.0f;
+    bool outcome_valid = false;
+
+    [[nodiscard]] float importance() const noexcept {
+      return outcome_valid ? outcome : density;
+    }
   };
 
   /// Entry at logical position `index` (0 = oldest stored).  Logical order
@@ -178,6 +311,9 @@ class LatentReplayBuffer {
   /// storage (freed slots recycled through free_slots_), order_ holds slot
   /// ids, and head_ is the ring head a FIFO eviction bumps in O(1).
   [[nodiscard]] const Entry& entry_at(std::size_t index) const noexcept {
+    return slots_[order_[head_ + index]];
+  }
+  [[nodiscard]] Entry& entry_at(std::size_t index) noexcept {
     return slots_[order_[head_ + index]];
   }
   [[nodiscard]] std::size_t entry_bytes(const Entry& e) const noexcept;
@@ -190,10 +326,26 @@ class LatentReplayBuffer {
   /// accounting.  index 0 (the FIFO case) is amortized O(1); middle
   /// evictions splice a 4-byte slot id out of order_, never an Entry.
   void evict_at(std::size_t index);
+  /// Label of the most-represented class; when `incoming` is non-null that
+  /// label counts toward its class (ties go to the smallest label).
+  [[nodiscard]] std::int32_t heaviest_class(const std::int32_t* incoming) const;
   /// Index of the oldest stored entry of the most-represented class (the
   /// incoming label counts toward its class; ties go to the smallest label)
   /// — the kClassBalanced victim.
-  [[nodiscard]] std::size_t balanced_victim(std::int32_t incoming) const;
+  [[nodiscard]] std::size_t balanced_victim(const std::int32_t* incoming) const;
+  /// Index of the least-important stored entry (ties go to the oldest) —
+  /// the kLowImportance victim.
+  [[nodiscard]] std::size_t least_important_victim() const;
+  /// Least-important entry of the most-represented class — the
+  /// kImportanceClassBalanced victim.
+  [[nodiscard]] std::size_t importance_balanced_victim(const std::int32_t* incoming) const;
+  /// Evicts per the configured policy until `bytes` more would fit under
+  /// `capacity` (the shared add()/set_capacity() shrink loop; incoming is
+  /// null during a shrink).  Reservoir shrinks displace a uniform stored
+  /// victim from the buffer's private rng — Algorithm R's incoming-rejection
+  /// branch happens in add() before this runs.
+  void evict_until_fits(std::size_t capacity, std::size_t bytes,
+                        const std::int32_t* incoming);
 
   compress::CodecConfig codec_;
   std::size_t activation_timesteps_;

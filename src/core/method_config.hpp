@@ -53,6 +53,19 @@ struct NclMethodConfig {
   /// run engines mix the run seed into replay_budget.seed so reservoir
   /// eviction reproduces per run.
   ReplayBufferConfig replay_budget{};
+  /// Per-task evolution of replay_budget.capacity_bytes: the run engines
+  /// apply capacity_for_task() at every task boundary (the single-task
+  /// engine counts as a 1-task stream) and the buffer re-evicts
+  /// deterministically down to the new cap.  The default const schedule is
+  /// never applied, so unscheduled runs stay bit-identical.  CLI knob:
+  /// budget_schedule=const|linear:<start>:<end>|step:<task>:<bytes>.
+  BudgetSchedule budget_schedule{};
+  /// Feed per-sample replay outcomes (top-1 error) back into the buffer's
+  /// importance scores after each draw (LatentReplayBuffer::report_outcome).
+  /// Only consulted when replay_budget.policy is importance-aware; off, the
+  /// importance policies rank purely on insert-time spike density.  CLI
+  /// knob: importance_feedback=0|1.
+  bool importance_feedback = true;
   /// Replay entries decompressed per CL epoch via LatentReplayBuffer::
   /// sample(); 0 = materialize() the whole buffer every epoch.  Sampling
   /// bounds the per-epoch decompression + training cost when the buffer is

@@ -55,9 +55,17 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
   SequentialRunResult result;
   result.method_name = method.name;
 
-  // Base-class latents seed the buffer (Alg. 1 network preparation).
-  LatentReplayBuffer buffer(method.storage_codec, method.cl_timesteps,
-                            method.replay_budget.with_run_seed(config.seed));
+  // Base-class latents seed the buffer (Alg. 1 network preparation).  An
+  // active schedule binds from construction — seeding already runs under the
+  // task-0 cap, exactly as in run_continual_learning, so preparation never
+  // transiently exceeds the scheduled region.  The task-0 boundary
+  // set_capacity below is then a no-op.
+  ReplayBufferConfig run_budget = method.replay_budget.with_run_seed(config.seed);
+  if (method.budget_schedule.active()) {
+    run_budget.capacity_bytes = method.budget_schedule.capacity_for_task(
+        0, tasks.task_classes.size(), run_budget.capacity_bytes);
+  }
+  LatentReplayBuffer buffer(method.storage_codec, method.cl_timesteps, run_budget);
   snn::SpikeOpStats prep_stats;
   {
     const data::Dataset rescaled =
@@ -70,6 +78,8 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
   result.total_latency_ms += latency_model.latency_ms(prep_stats);
   result.total_energy_uj += energy_model.energy_uj(prep_stats);
 
+  const bool importance_feedback =
+      method.importance_feedback && is_importance_policy(method.replay_budget.policy);
   Rng seed_rng(config.seed);
   Rng replay_rng(config.seed ^ kReplayDrawSeedSalt);
   for (std::size_t task = 0; task < tasks.task_classes.size(); ++task) {
@@ -77,6 +87,15 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
     row.task_index = task;
     row.class_id = tasks.task_classes[task];
     snn::SpikeOpStats task_stats;
+
+    // Task boundary: re-apply the byte-budget schedule before this task's CL
+    // phase; a shrink re-evicts deterministically per the buffer's policy.
+    // The default const schedule never calls set_capacity, so unscheduled
+    // runs stay bit-identical.
+    if (method.budget_schedule.active()) {
+      buffer.set_capacity(method.budget_schedule.capacity_for_task(
+          task, tasks.task_classes.size(), method.replay_budget.capacity_bytes));
+    }
 
     const data::Dataset new_rescaled = data::time_rescale(
         tasks.task_train[task], method.cl_timesteps, method.rescale);
@@ -94,6 +113,7 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
       opts.policy = policy;
       opts.shuffle_seed = seed_rng();
       std::vector<snn::EpochRecord> history;
+      const std::size_t new_count = mixed.size();
       if (method.replay_stream) {
         // Streamed replay: same draw (same Rng stream) and same training
         // batches as the materialized branch, decoded one batch at a time.
@@ -107,14 +127,29 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
         source.fetch = [&mixed, &stream](std::size_t i) -> const data::Sample& {
           return i < mixed.size() ? mixed[i] : stream.fetch(i - mixed.size());
         };
+        if (importance_feedback) {
+          opts.sample_outcome = buffer.outcome_hook(stream.drawn(), new_count);
+        }
         history = snn::train_supervised(net, source, optimizer, opts);
       } else {
-        data::Dataset replay =
-            method.replay_samples_per_epoch > 0
-                ? buffer.sample(method.replay_samples_per_epoch, replay_rng, &task_stats)
-                : buffer.materialize(&task_stats);
-        mixed.insert(mixed.end(), std::make_move_iterator(replay.begin()),
-                     std::make_move_iterator(replay.end()));
+        std::vector<std::size_t> drawn;
+        if (importance_feedback) {
+          // sample_into() is sample() plus the drawn logical indices, so the
+          // outcome hook can route each replay row's top-1 error back to its
+          // buffer entry (identical rng consumption and charging).
+          const std::size_t draw = method.replay_samples_per_epoch > 0
+                                       ? method.replay_samples_per_epoch
+                                       : buffer.size();
+          drawn = buffer.sample_into(draw, replay_rng, mixed, &task_stats);
+          opts.sample_outcome = buffer.outcome_hook(drawn, new_count);
+        } else {
+          data::Dataset replay =
+              method.replay_samples_per_epoch > 0
+                  ? buffer.sample(method.replay_samples_per_epoch, replay_rng, &task_stats)
+                  : buffer.materialize(&task_stats);
+          mixed.insert(mixed.end(), std::make_move_iterator(replay.begin()),
+                       std::make_move_iterator(replay.end()));
+        }
         history = snn::train_supervised(net, mixed, optimizer, opts);
       }
       task_stats.add(history.front().stats);
@@ -131,6 +166,7 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
       }
     }
     row.latent_memory_bytes = buffer.memory_bytes();
+    row.budget_bytes = buffer.capacity_bytes();
     row.buffer_entries = buffer.size();
     row.buffer_evictions = buffer.evictions();
     row.latency_ms = latency_model.latency_ms(task_stats);

@@ -42,6 +42,9 @@ struct SequentialTaskRow {
   double acc_current = 0.0;
   /// Replay-buffer footprint after recording this task's latents.
   std::size_t latent_memory_bytes = 0;
+  /// Byte budget in force during this task (0 = unbounded) — varies across
+  /// rows when the method carries an active BudgetSchedule.
+  std::size_t budget_bytes = 0;
   /// Stored replay entries / cumulative budget evictions after this task
   /// (evictions stay 0 on unbounded runs).
   std::size_t buffer_entries = 0;

@@ -57,7 +57,8 @@ Tensor SnnNetwork::forward_logits(const Tensor& x, std::size_t from,
 StepResult SnnNetwork::train_step(const Tensor& x, std::span<const std::int32_t> labels,
                                   std::size_t from, const ThresholdPolicy& policy,
                                   AdamOptimizer& optimizer, float lr, SpikeMode mode,
-                                  SpikeOpStats* stats) {
+                                  SpikeOpStats* stats,
+                                  std::vector<std::uint8_t>* row_correct) {
   R4NCL_CHECK(from <= num_hidden(), "insertion layer out of range");
   const std::size_t trained = num_hidden() - from;
   const std::size_t B = x.dim(1);
@@ -82,8 +83,12 @@ StepResult SnnNetwork::train_step(const Tensor& x, std::span<const std::int32_t>
   StepResult result;
   result.loss = softmax_cross_entropy(logits, labels, &d_logits);
   const auto preds = argmax_rows(logits);
+  if (row_correct != nullptr) row_correct->assign(B, 0);
   for (std::size_t i = 0; i < B; ++i) {
-    if (preds[i] == labels[i]) ++result.correct;
+    if (preds[i] == labels[i]) {
+      ++result.correct;
+      if (row_correct != nullptr) (*row_correct)[i] = 1;
+    }
   }
 
   // Backward: readout, then the hidden learning layers in reverse.

@@ -71,11 +71,15 @@ class SnnNetwork {
 
   /// One BPTT training step on hidden layers [from, num_hidden) plus the
   /// readout.  `x` is the spike cube at the insertion point, `labels` one
-  /// per batch row.  Returns the batch loss and top-1 hits.
+  /// per batch row.  Returns the batch loss and top-1 hits.  When
+  /// `row_correct` is non-null it is resized to the batch and filled with
+  /// each row's pre-update top-1 hit (1 = correct) — the per-sample outcome
+  /// signal importance-aware replay feeds back to its buffer.
   StepResult train_step(const Tensor& x, std::span<const std::int32_t> labels,
                         std::size_t from, const ThresholdPolicy& policy,
                         AdamOptimizer& optimizer, float lr,
-                        SpikeMode mode = SpikeMode::kHard, SpikeOpStats* stats = nullptr);
+                        SpikeMode mode = SpikeMode::kHard, SpikeOpStats* stats = nullptr,
+                        std::vector<std::uint8_t>* row_correct = nullptr);
 
   /// Deep copy (fresh optimizer state required afterwards).
   [[nodiscard]] SnnNetwork clone() const { return *this; }

@@ -30,6 +30,7 @@ std::vector<EpochRecord> train_supervised(SnnNetwork& net, const SampleSource& s
   history.reserve(options.epochs);
   std::vector<std::int32_t> labels;
   labels.reserve(options.batch_size);
+  std::vector<std::uint8_t> row_correct;
 
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     Stopwatch watch;
@@ -60,9 +61,15 @@ std::vector<EpochRecord> train_supervised(SnnNetwork& net, const SampleSource& s
       }
       const StepResult step =
           net.train_step(batch, labels, options.insertion_layer, options.policy, optimizer,
-                         options.lr, options.mode, &rec.stats);
+                         options.lr, options.mode, &rec.stats,
+                         options.sample_outcome ? &row_correct : nullptr);
       loss_sum += step.loss;
       correct += step.correct;
+      if (options.sample_outcome) {
+        for (std::size_t b = 0; b < batch_count; ++b) {
+          options.sample_outcome(order[lo + b], row_correct[b] != 0 ? 0.0f : 1.0f);
+        }
+      }
       ++batches;
     }
     rec.loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;

@@ -26,6 +26,12 @@ struct TrainOptions {
   SpikeMode mode = SpikeMode::kHard;
   std::uint64_t shuffle_seed = 99;
   bool verbose = false;
+  /// Optional per-sample outcome hook: called once per trained sample per
+  /// epoch with the sample's source index and its pre-update top-1 error
+  /// (0.0 = correct, 1.0 = miss).  This is the trainer→replay-buffer
+  /// feedback channel of the importance-aware eviction policies
+  /// (core::LatentReplayBuffer::report_outcome); unset costs nothing.
+  std::function<void(std::size_t index, float error)> sample_outcome;
 };
 
 /// Per-epoch record of a training run.

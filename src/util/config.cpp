@@ -89,4 +89,18 @@ std::string env_key_for(const std::string& key) {
   return out;
 }
 
+
+bool parse_unsigned_decimal(std::string_view text, std::uint64_t& value) noexcept {
+  if (text.empty()) return false;
+  std::uint64_t parsed = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (parsed > (~std::uint64_t{0} - digit) / 10) return false;  // would wrap
+    parsed = parsed * 10 + digit;
+  }
+  value = parsed;
+  return true;
+}
+
 }  // namespace r4ncl

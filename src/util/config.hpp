@@ -6,6 +6,7 @@
 // code rather than in external files.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <span>
@@ -50,5 +51,13 @@ class Config {
 
 /// "epochs" → "R4NCL_EPOCHS".
 std::string env_key_for(const std::string& key);
+
+/// Strict non-negative decimal parse: digits only (no sign, hex prefix,
+/// whitespace or empty string), overflow-checked over the full uint64
+/// range.  Returns false instead of guessing — the CLI surfaces use this
+/// where get_int()'s lenient stoll semantics ("0x10" → 0, "abc" →
+/// fallback) would let a malformed value run silently.
+[[nodiscard]] bool parse_unsigned_decimal(std::string_view text,
+                                          std::uint64_t& value) noexcept;
 
 }  // namespace r4ncl

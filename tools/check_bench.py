@@ -1,0 +1,431 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over the checked-in BENCH_*.json files.
+
+Validates three things for every known bench artifact:
+
+1. Schema — the file parses, carries its metadata envelope (or, for
+   BENCH_replay_stream.json, is a bare row array) and every row has the full
+   column set with numeric fields that actually parse.
+2. Self-check fields — invariants the generating benches themselves enforce
+   must still hold in the committed data: sample-vs-stream spike-checksum
+   parity, streamed peak-assembly bytes strictly under the materialized
+   peak, buffer bytes within the byte budget, and delta_vs_unbounded
+   agreeing with the accuracy columns.
+3. Pinned headline statistics — the numbers the README/ROADMAP quote may
+   not silently regress past tolerance when a sweep is refreshed: the
+   importance policies must match or beat the best content-blind policy at
+   the tightest budget, 4-bit latents must hold >= QUANT_CAPACITY_MIN_RATIO
+   x the 8-bit entries at equal bytes, the 2-bit element kernel must beat
+   the scalar binary unpack, and the Table-1 latent-memory saving must stay
+   inside the paper's band.
+
+Exit code 0 = all gates pass.  Any failure prints `bench gate: FAIL ...`
+and exits 1, which is what the CI `bench gate` job keys off.
+
+    python3 tools/check_bench.py              # validate the repo's files
+    python3 tools/check_bench.py --dir DIR    # validate copies elsewhere
+    python3 tools/check_bench.py --self-test  # prove the gate catches
+                                              # hand-corrupted data
+
+The self-test corrupts in-memory copies of the real files (checksum flip,
+budget overflow, headline regression, dropped column, delta mismatch) and
+fails if any corruption slips through — so the gate cannot rot into a
+rubber stamp.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+from pathlib import Path
+
+# ---- Tolerances / pinned bands ---------------------------------------------
+# Accuracy columns are deterministic for a given toolchain, so the float
+# comparisons only need to absorb the two-decimal formatting.
+DELTA_PARITY_TOL = 0.011
+# The importance headline: best importance-aware policy vs best content-blind
+# policy at the tightest const budget fraction (accuracy points).
+IMPORTANCE_HEADROOM_TOL = 0.0
+# Ravaglia-effect floor: resident 4-bit entries per resident 8-bit entry at
+# equal capacity (ideal 2.0; header overhead eats a little).
+QUANT_CAPACITY_MIN_RATIO = 1.5
+# Table-1 anchor: the paper reports a 20% latent-memory saving; the repo's
+# byte-per-row padding lands it in the 20-21.88% band.  Gate generously.
+BASELINE_MEMORY_SAVING_BAND = (15.0, 30.0)
+BASELINE_MIN_LATENCY_SPEEDUP = 1.3
+
+CONTENT_BLIND = {"fifo", "reservoir", "class_balanced"}
+IMPORTANCE_AWARE = {"low_importance", "importance_class_balanced"}
+
+BUDGET_SWEEP_COLUMNS = [
+    "method", "latent_bits", "budget_frac", "budget_bytes", "policy", "schedule",
+    "final_bytes", "entries", "evictions", "acc_base", "acc_learned",
+    "delta_vs_unbounded", "latency_ms",
+]
+REPLAY_STREAM_COLUMNS = [
+    "mode", "codec", "latent_bits", "minibatch", "draws", "wall_ms", "ns_per_elem",
+    "peak_assembly_bytes", "decompress_mbits", "spike_checksum",
+]
+
+
+class GateFailure(Exception):
+    """One failed gate; the message names the file, row and invariant."""
+
+
+def fnum(row: dict, key: str, context: str) -> float:
+    value = row.get(key)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise GateFailure(f"{context}: field '{key}' is not numeric (got {value!r})")
+
+
+def require_columns(rows: list, columns: list, context: str) -> None:
+    if not rows:
+        raise GateFailure(f"{context}: no rows")
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            raise GateFailure(f"{context}: row {i} is not an object")
+        missing = [c for c in columns if c not in row]
+        if missing:
+            raise GateFailure(f"{context}: row {i} missing column(s) {missing}")
+
+
+def require_envelope(doc: dict, context: str) -> list:
+    if not isinstance(doc, dict):
+        raise GateFailure(f"{context}: expected a metadata object envelope")
+    for key in ("bench", "description", "generated", "command", "rows"):
+        if key not in doc:
+            raise GateFailure(f"{context}: metadata envelope missing '{key}'")
+    if not isinstance(doc["rows"], list):
+        raise GateFailure(f"{context}: 'rows' is not an array")
+    return doc["rows"]
+
+
+def base_method(name: str) -> str:
+    """Replay4NCL-q4 -> Replay4NCL (the -q<bits> suffix is per-depth)."""
+    stem, sep, suffix = name.rpartition("-q")
+    if sep and suffix.isdigit():
+        return stem
+    return name
+
+
+# ---- BENCH_budget_sweep.json -----------------------------------------------
+
+def check_budget_sweep(doc) -> int:
+    ctx = "budget_sweep"
+    rows = require_envelope(doc, ctx)
+    require_columns(rows, BUDGET_SWEEP_COLUMNS, ctx)
+    checks = 0
+
+    # Reference (unbounded) accuracy per method family, for delta parity.
+    reference = {}
+    for row in rows:
+        if row["policy"] == "unbounded":
+            reference[base_method(row["method"])] = fnum(row, "acc_learned", ctx)
+
+    tightest_frac = None
+    for row in rows:
+        frac = row["budget_frac"]
+        try:
+            value = float(frac)
+        except ValueError:
+            continue
+        if value < 1.0 and (tightest_frac is None or value < float(tightest_frac)):
+            tightest_frac = frac
+    if tightest_frac is None:
+        raise GateFailure(f"{ctx}: no bounded budget_frac rows (sweep 1 missing)")
+
+    for i, row in enumerate(rows):
+        where = f"{ctx}: row {i} ({row['method']}/{row['budget_frac']}/{row['policy']})"
+        budget = fnum(row, "budget_bytes", where)
+        final = fnum(row, "final_bytes", where)
+        # Self-check: the byte budget held (unbounded rows carry budget 0).
+        if budget > 0 and final > budget:
+            raise GateFailure(f"{where}: final_bytes {final} exceeds budget_bytes {budget}")
+        checks += 1
+        for key in ("acc_base", "acc_learned"):
+            acc = fnum(row, key, where)
+            if not 0.0 <= acc <= 100.0:
+                raise GateFailure(f"{where}: {key}={acc} outside [0, 100]")
+        # Self-check: the delta column is derived, so it must agree with the
+        # accuracy columns against the method family's unbounded reference.
+        family = base_method(row["method"])
+        if family in reference:
+            expected = fnum(row, "acc_learned", where) - reference[family]
+            delta = fnum(row, "delta_vs_unbounded", where)
+            if abs(delta - expected) > DELTA_PARITY_TOL:
+                raise GateFailure(
+                    f"{where}: delta_vs_unbounded {delta} != acc_learned - unbounded "
+                    f"({expected:.2f})")
+            checks += 1
+
+    # Headline: at the tightest const budget the best importance-aware policy
+    # matches or beats the best content-blind policy.
+    best = {}
+    for row in rows:
+        if row["budget_frac"] != tightest_frac or row["schedule"] != "const":
+            continue
+        policy = row["policy"]
+        acc = fnum(row, "acc_learned", f"{ctx}: tightest-budget row")
+        best[policy] = max(best.get(policy, acc), acc)
+    blind = [best[p] for p in CONTENT_BLIND if p in best]
+    aware = [best[p] for p in IMPORTANCE_AWARE if p in best]
+    if not blind or not aware:
+        raise GateFailure(
+            f"{ctx}: tightest budget ({tightest_frac}) lacks content-blind or "
+            f"importance-aware policy rows (have: {sorted(best)})")
+    if max(aware) + IMPORTANCE_HEADROOM_TOL < max(blind):
+        raise GateFailure(
+            f"{ctx}: importance headline regressed at budget_frac {tightest_frac}: "
+            f"best importance-aware acc_learned {max(aware):.2f} < best "
+            f"content-blind {max(blind):.2f}")
+    checks += 1
+
+    # Headline: 4-bit latents hold >= QUANT_CAPACITY_MIN_RATIO x the 8-bit
+    # entries at equal capacity (Replay4NCL family, quant sweep).
+    entries = {}
+    for row in rows:
+        if row["budget_frac"] == "quant" and base_method(row["method"]) == "Replay4NCL":
+            entries[row["latent_bits"]] = fnum(row, "entries", f"{ctx}: quant row")
+    if "8" not in entries or "4" not in entries:
+        raise GateFailure(f"{ctx}: quant sweep missing 8-bit or 4-bit Replay4NCL rows")
+    if entries["8"] <= 0 or entries["4"] / entries["8"] < QUANT_CAPACITY_MIN_RATIO:
+        raise GateFailure(
+            f"{ctx}: quant capacity headline regressed: 4-bit entries {entries['4']} "
+            f"vs 8-bit {entries['8']} (< {QUANT_CAPACITY_MIN_RATIO}x)")
+    checks += 1
+    return checks
+
+
+# ---- BENCH_replay_stream.json ----------------------------------------------
+
+def check_replay_stream(doc) -> int:
+    ctx = "replay_stream"
+    if not isinstance(doc, list):
+        raise GateFailure(f"{ctx}: expected a bare row array")
+    require_columns(doc, REPLAY_STREAM_COLUMNS, ctx)
+    checks = 0
+
+    sample = {row["codec"]: row for row in doc if row["mode"] == "sample"}
+    if not sample:
+        raise GateFailure(f"{ctx}: no sample-mode rows")
+    for i, row in enumerate(doc):
+        if row["mode"] != "stream":
+            continue
+        codec = row["codec"]
+        where = f"{ctx}: row {i} (stream/{codec}/mb{row['minibatch']})"
+        ref = sample.get(codec)
+        if ref is None:
+            raise GateFailure(f"{where}: no sample-mode row for codec {codec}")
+        # Self-check: checksum parity — the stream decodes the *same* draw.
+        if row["spike_checksum"] != ref["spike_checksum"]:
+            raise GateFailure(
+                f"{where}: spike_checksum {row['spike_checksum']} diverges from "
+                f"sample checksum {ref['spike_checksum']}")
+        if row["decompress_mbits"] != ref["decompress_mbits"]:
+            raise GateFailure(
+                f"{where}: decompress_mbits {row['decompress_mbits']} diverges from "
+                f"sample {ref['decompress_mbits']}")
+        # Self-check: the streaming path exists to bound assembly memory.
+        if fnum(row, "peak_assembly_bytes", where) >= fnum(ref, "peak_assembly_bytes", where):
+            raise GateFailure(
+                f"{where}: streamed peak_assembly_bytes not below the sample peak")
+        checks += 3
+
+    # Headline: the byte-parallel 2-bit element kernel beats the scalar
+    # binary reference unpack per element.
+    kernels = {row["codec"] + ":" + row["latent_bits"]: row
+               for row in doc if row["mode"] == "kernel"}
+    scalar = kernels.get("binary-scalar:0")
+    elem2 = kernels.get("elements:2")
+    if scalar is None or elem2 is None:
+        raise GateFailure(f"{ctx}: kernel rows missing (binary-scalar and elements/2)")
+    if fnum(elem2, "ns_per_elem", ctx) >= fnum(scalar, "ns_per_elem", ctx):
+        raise GateFailure(
+            f"{ctx}: kernel headline regressed: 2-bit unpack "
+            f"{elem2['ns_per_elem']} ns/elem not below scalar binary "
+            f"{scalar['ns_per_elem']}")
+    checks += 1
+    return checks
+
+
+# ---- BENCH_baseline.json ----------------------------------------------------
+
+def check_baseline(doc) -> int:
+    ctx = "baseline"
+    rows = require_envelope(doc, ctx)
+    require_columns(rows, ["metric", "SpikingLR", "Replay4NCL"], ctx)
+    by_metric = {row["metric"]: row for row in rows}
+    checks = 0
+
+    saving_row = by_metric.get("latent memory saving [%]")
+    if saving_row is None:
+        raise GateFailure(f"{ctx}: missing 'latent memory saving [%]' row")
+    saving = fnum(saving_row, "Replay4NCL", ctx)
+    lo, hi = BASELINE_MEMORY_SAVING_BAND
+    if not lo <= saving <= hi:
+        raise GateFailure(
+            f"{ctx}: latent-memory saving {saving}% outside the pinned "
+            f"[{lo}, {hi}]% band")
+    checks += 1
+
+    speedup_row = by_metric.get("latency speedup")
+    if speedup_row is None:
+        raise GateFailure(f"{ctx}: missing 'latency speedup' row")
+    raw = str(speedup_row.get("Replay4NCL", "")).rstrip("x")
+    try:
+        speedup = float(raw)
+    except ValueError:
+        raise GateFailure(f"{ctx}: latency speedup is not numeric "
+                          f"(got {speedup_row.get('Replay4NCL')!r})")
+    if speedup < BASELINE_MIN_LATENCY_SPEEDUP:
+        raise GateFailure(
+            f"{ctx}: Replay4NCL latency speedup {speedup}x below the pinned "
+            f"{BASELINE_MIN_LATENCY_SPEEDUP}x floor")
+    checks += 1
+    return checks
+
+
+CHECKS = {
+    "BENCH_budget_sweep.json": check_budget_sweep,
+    "BENCH_replay_stream.json": check_replay_stream,
+    "BENCH_baseline.json": check_baseline,
+}
+
+
+def load(path: Path):
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise GateFailure(f"{path}: missing")
+    except json.JSONDecodeError as err:
+        raise GateFailure(f"{path}: not valid JSON ({err})")
+
+
+def run_gate(directory: Path) -> int:
+    total = 0
+    for name, check in sorted(CHECKS.items()):
+        doc = load(directory / name)
+        total += check(doc)
+    return total
+
+
+# ---- Self-test ---------------------------------------------------------------
+
+def expect_failure(label: str, check, doc) -> None:
+    try:
+        check(doc)
+    except GateFailure:
+        return
+    raise SystemExit(f"bench gate: SELF-TEST FAIL — corruption not caught: {label}")
+
+
+def self_test(directory: Path) -> int:
+    """Corrupts in-memory copies of the real artifacts and asserts that every
+    corruption trips its gate — the 'hand-corrupted JSON must fail' proof."""
+    sweep = load(directory / "BENCH_budget_sweep.json")
+    stream = load(directory / "BENCH_replay_stream.json")
+    baseline = load(directory / "BENCH_baseline.json")
+    # The pristine copies must pass before corruption means anything.
+    check_budget_sweep(copy.deepcopy(sweep))
+    check_replay_stream(copy.deepcopy(stream))
+    check_baseline(copy.deepcopy(baseline))
+
+    cases = 0
+
+    bad = copy.deepcopy(sweep)
+    for row in bad["rows"]:
+        if float(row["budget_bytes"] or 0) > 0:
+            row["final_bytes"] = str(int(float(row["budget_bytes"])) + 1)
+            break
+    expect_failure("budget overflow", check_budget_sweep, bad)
+    cases += 1
+
+    # Headline regression written with *consistent* deltas, so the per-row
+    # delta-parity check cannot mask a deleted/broken headline gate — only
+    # the importance-vs-content-blind comparison itself can catch this one.
+    bad = copy.deepcopy(sweep)
+    references = {base_method(r["method"]): float(r["acc_learned"])
+                  for r in bad["rows"] if r["policy"] == "unbounded"}
+    for row in bad["rows"]:
+        if row["policy"] in IMPORTANCE_AWARE:
+            row["acc_learned"] = "0.00"
+            row["delta_vs_unbounded"] = (
+                f"{0.0 - references[base_method(row['method'])]:.2f}")
+    expect_failure("importance headline regression", check_budget_sweep, bad)
+    cases += 1
+
+    bad = copy.deepcopy(sweep)
+    bad["rows"][0]["acc_learned"] = "41.00"  # breaks delta parity
+    expect_failure("delta/accuracy mismatch", check_budget_sweep, bad)
+    cases += 1
+
+    bad = copy.deepcopy(sweep)
+    del bad["rows"][1]["policy"]
+    expect_failure("dropped column", check_budget_sweep, bad)
+    cases += 1
+
+    bad = copy.deepcopy(sweep)
+    for row in bad["rows"]:
+        if row["latent_bits"] == "4":
+            row["entries"] = "1"
+    expect_failure("quant capacity regression", check_budget_sweep, bad)
+    cases += 1
+
+    bad = copy.deepcopy(stream)
+    for row in bad:
+        if row["mode"] == "stream":
+            row["spike_checksum"] = str(int(row["spike_checksum"]) + 1)
+            break
+    expect_failure("checksum parity", check_replay_stream, bad)
+    cases += 1
+
+    bad = copy.deepcopy(stream)
+    for row in bad:
+        if row["mode"] == "stream":
+            row["peak_assembly_bytes"] = "999999999"
+    expect_failure("peak-bytes invariant", check_replay_stream, bad)
+    cases += 1
+
+    bad = copy.deepcopy(baseline)
+    for row in bad["rows"]:
+        if row["metric"] == "latent memory saving [%]":
+            row["Replay4NCL"] = "2.00"
+    expect_failure("memory-saving band", check_baseline, bad)
+    cases += 1
+
+    bad = copy.deepcopy(sweep)
+    bad.pop("command")
+    expect_failure("missing metadata envelope field", check_budget_sweep, bad)
+    cases += 1
+
+    return cases
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--dir", type=Path, default=Path(__file__).resolve().parent.parent,
+                        help="directory holding the BENCH_*.json files (default: repo root)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="corrupt in-memory copies and assert every gate trips")
+    args = parser.parse_args()
+
+    try:
+        if args.self_test:
+            cases = self_test(args.dir)
+            print(f"bench gate: self-test OK ({cases} corruptions all caught)")
+        else:
+            checks = run_gate(args.dir)
+            print(f"bench gate: OK ({len(CHECKS)} files, {checks} checks)")
+    except GateFailure as err:
+        print(f"bench gate: FAIL — {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
