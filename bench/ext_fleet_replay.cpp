@@ -1,0 +1,239 @@
+// Fleet-simulation bench: N independent device streams against one shared
+// ShardedReplayEngine — replay-as-a-service under concurrent trainer threads.
+//
+// The embedded fleet scenario behind the ROADMAP's north star: many
+// continual learners share one constrained latent-memory region.  Each
+// simulated device stream adds its own latents (deterministic per-stream
+// content), periodically draws a replay sample and feeds outcomes back —
+// the add/sample/report_outcome traffic a trainer generates — while the
+// engine routes everything to per-shard buffers behind per-shard locks.
+//
+// Row modes (the bench self-checks; it exits nonzero on any violation):
+//   det        — the same N streams interleaved round-robin on ONE thread.
+//                Deterministic by construction, so every rep must produce a
+//                bit-identical final state (checksum parity across reps).
+//                At shards=1 the binary additionally replays the identical
+//                interleaving into a plain LatentReplayBuffer and asserts
+//                the engine checksum matches it — the refactor's
+//                single-shard bit-identity contract, enforced at bench time.
+//   concurrent — the same N streams on N real threads (util run_workers)
+//                against the shared engine.  Final state depends on the
+//                interleaving the scheduler chose, so the checksum is
+//                reported but not compared; instead the lifetime accounting
+//                must balance exactly (entries == adds - evictions), the
+//                byte budget must hold, and shard sizes must sum to the
+//                global size.  Throughput (adds_per_sec) is the headline.
+//
+// This bench is synthetic (no SNN training): it isolates the replay store,
+// runs in seconds, and the det rows are deterministic per seed.  Knobs
+// (key=value or R4NCL_<KEY>): streams=8 adds=300 channels=64 timesteps=16
+// reps=2 capacity_entries=64 shards=4 shard_by=class|hash policy=<eviction>
+// threads=N verbose=1.  Writes ext_fleet_replay.csv/.json (checked in at
+// the repo root as BENCH_fleet_replay.json, gated by tools/check_bench.py).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/replay_stream.hpp"
+#include "core/sharded_engine.hpp"
+#include "util/logging.hpp"
+#include "util/parallel.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace r4ncl;
+
+namespace {
+
+data::SpikeRaster random_raster(std::size_t T, std::size_t C, double density,
+                                std::uint64_t seed) {
+  data::SpikeRaster r(T, C);
+  Rng rng(seed);
+  for (auto& b : r.bits) b = rng.bernoulli(density) ? 1 : 0;
+  return r;
+}
+
+/// Order-sensitive FNV-1a over (spike_count, label) of every stored entry —
+/// the det-mode parity fingerprint of a replay store's final state.
+std::uint64_t state_checksum(const data::Dataset& ds) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& s : ds) {
+    h = (h ^ static_cast<std::uint64_t>(s.raster.spike_count())) * 0x100000001b3ULL;
+    h = (h ^ static_cast<std::uint32_t>(s.label)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg = Config::from_args(argc, argv);
+  core::validate_standard_keys(cfg,
+                               {"streams", "adds", "channels", "timesteps", "reps",
+                                "capacity_entries"});
+  init_log_level_from_env();
+  init_threads_from_env();
+  const std::size_t streams = static_cast<std::size_t>(cfg.get_int("streams", 8));
+  const std::size_t adds = static_cast<std::size_t>(cfg.get_int("adds", 300));
+  const std::size_t C = static_cast<std::size_t>(cfg.get_int("channels", 64));
+  const std::size_t T = static_cast<std::size_t>(cfg.get_int("timesteps", 16));
+  const std::size_t reps = std::max<std::size_t>(
+      2, static_cast<std::size_t>(cfg.get_int("reps", 2)));  // parity needs >= 2
+  const std::size_t capacity_entries =
+      static_cast<std::size_t>(cfg.get_int("capacity_entries", 64));
+  const std::size_t shards_knob = static_cast<std::size_t>(cfg.get_int("shards", 4));
+  const core::ShardKey shard_by =
+      core::parse_shard_key(cfg.get_string("shard_by", "class"));
+  const core::ReplayPolicy policy =
+      core::parse_replay_policy(cfg.get_string("policy", "class_balanced"));
+
+  // Shard counts swept: the bit-identity anchor (1) plus the requested count.
+  std::vector<std::size_t> shard_sweep{1};
+  if (shards_knob > 1) shard_sweep.push_back(shards_knob);
+
+  const compress::CodecConfig codec{.ratio = 1};
+  const std::size_t entry_bytes = [&] {
+    core::LatentReplayBuffer probe(codec, T);
+    probe.add(random_raster(T, C, 0.2, 1), 0);
+    return probe.memory_bytes();
+  }();
+  const std::size_t capacity = capacity_entries * entry_bytes;
+  const std::size_t total_adds = streams * adds;
+  const core::ReplayBufferConfig budget{.capacity_bytes = capacity, .policy = policy,
+                                        .seed = 0xf1ee7ULL};
+
+  // One step of device stream `w`: content and label are functions of (w, i)
+  // only, so det and concurrent modes replay the exact same per-stream work.
+  const auto stream_add = [&](auto& store, std::size_t w, std::size_t i) {
+    const double density = 0.1 + 0.02 * static_cast<double>(w % 5);
+    (void)store.add(random_raster(T, C, density, (w << 24) | i),
+                    static_cast<std::int32_t>((w * 7 + i) % 10));
+  };
+
+  ResultTable table({"mode", "streams", "shards", "shard_by", "policy", "adds",
+                     "entries", "evictions", "memory_bytes", "capacity_bytes",
+                     "wall_ms", "adds_per_sec", "checksum", "rep"});
+  const auto add_row = [&](const std::string& mode, std::size_t shards,
+                           const core::ShardedReplayEngine& eng, double wall_ms,
+                           std::uint64_t checksum, std::size_t rep) {
+    table.add_row();
+    table.push(mode);
+    table.push(static_cast<long long>(streams));
+    table.push(static_cast<long long>(shards));
+    table.push(std::string(core::to_string(shard_by)));
+    table.push(std::string(core::to_string(policy)));
+    table.push(static_cast<long long>(total_adds));
+    table.push(static_cast<long long>(eng.size()));
+    table.push(static_cast<long long>(eng.evictions()));
+    table.push(static_cast<long long>(eng.memory_bytes()));
+    table.push(static_cast<long long>(eng.capacity_bytes()));
+    table.push(format_double(wall_ms, 3));
+    table.push(format_double(static_cast<double>(total_adds) * 1e3 / wall_ms, 1));
+    table.push(std::to_string(checksum));  // uint64 — don't squeeze into long long
+    table.push(static_cast<long long>(rep));
+  };
+
+  bool failed = false;
+
+  // -- det: round-robin interleaving on one thread, rep-parity checked ------
+  for (const std::size_t shards : shard_sweep) {
+    std::uint64_t det_checksum = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      core::ShardedReplayEngine eng(codec, T, budget, {.shards = shards,
+                                                       .shard_by = shard_by});
+      Stopwatch watch;
+      for (std::size_t i = 0; i < adds; ++i) {
+        for (std::size_t w = 0; w < streams; ++w) stream_add(eng, w, i);
+      }
+      const double wall = watch.elapsed_ms();
+      const std::uint64_t checksum = state_checksum(eng.materialize());
+      add_row("det", shards, eng, wall, checksum, rep);
+      if (rep == 0) {
+        det_checksum = checksum;
+      } else if (checksum != det_checksum) {
+        std::printf("BUG: det rep %zu checksum %llu != rep 0 checksum %llu (shards=%zu)\n",
+                    rep, static_cast<unsigned long long>(checksum),
+                    static_cast<unsigned long long>(det_checksum), shards);
+        failed = true;
+      }
+      if (eng.stream_seen() != total_adds ||
+          eng.size() != eng.stream_seen() - eng.evictions()) {
+        std::printf("BUG: det accounting: seen=%zu entries=%zu evictions=%zu\n",
+                    eng.stream_seen(), eng.size(), eng.evictions());
+        failed = true;
+      }
+    }
+    if (shards == 1) {
+      // The refactor's anchor: the identical interleaving into a plain
+      // LatentReplayBuffer must land in a bit-identical final state.
+      core::LatentReplayBuffer buf(codec, T, budget);
+      for (std::size_t i = 0; i < adds; ++i) {
+        for (std::size_t w = 0; w < streams; ++w) stream_add(buf, w, i);
+      }
+      const std::uint64_t reference = state_checksum(buf.materialize());
+      if (reference != det_checksum) {
+        std::printf("BUG: shards=1 engine checksum %llu != LatentReplayBuffer %llu\n",
+                    static_cast<unsigned long long>(det_checksum),
+                    static_cast<unsigned long long>(reference));
+        failed = true;
+      }
+    }
+  }
+
+  // -- concurrent: one real thread per device stream ------------------------
+  for (const std::size_t shards : shard_sweep) {
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      core::ShardedReplayEngine eng(codec, T, budget, {.shards = shards,
+                                                       .shard_by = shard_by});
+      Stopwatch watch;
+      run_workers(streams, [&](std::size_t w) {
+        Rng draw_rng(0xd0a0ULL + w);
+        for (std::size_t i = 0; i < adds; ++i) {
+          stream_add(eng, w, i);
+          if (i % 32 == 0) {
+            // Trainer-shaped read traffic: a small replay draw plus outcome
+            // feedback for the drawn entries.
+            data::Dataset out;
+            const std::vector<std::size_t> drawn = eng.sample_into(4, draw_rng, out);
+            for (const std::size_t d : drawn) {
+              eng.report_outcome(d, 0.4f + 0.01f * static_cast<float>(w));
+            }
+          }
+        }
+      });
+      const double wall = watch.elapsed_ms();
+      const std::uint64_t checksum = state_checksum(eng.materialize());
+      add_row("concurrent", shards, eng, wall, checksum, rep);
+      if (eng.stream_seen() != total_adds) {
+        std::printf("BUG: concurrent lost adds: seen=%zu expected=%zu (shards=%zu)\n",
+                    eng.stream_seen(), total_adds, shards);
+        failed = true;
+      }
+      if (eng.size() != eng.stream_seen() - eng.evictions()) {
+        std::printf("BUG: concurrent accounting: entries=%zu seen=%zu evictions=%zu\n",
+                    eng.size(), eng.stream_seen(), eng.evictions());
+        failed = true;
+      }
+      if (capacity > 0 && eng.memory_bytes() > capacity) {
+        std::printf("BUG: concurrent run broke the byte budget: %zu > %zu\n",
+                    eng.memory_bytes(), capacity);
+        failed = true;
+      }
+      std::size_t shard_sum = 0;
+      for (std::size_t s = 0; s < eng.num_shards(); ++s) shard_sum += eng.shard(s).size();
+      if (shard_sum != eng.size()) {
+        std::printf("BUG: shard sizes sum to %zu, global size is %zu\n", shard_sum,
+                    eng.size());
+        failed = true;
+      }
+    }
+  }
+
+  bench::emit(table, "ext_fleet_replay",
+              "Fleet replay engine: N device streams vs one sharded store — det "
+              "round-robin parity (+ shards=1 buffer bit-identity) and concurrent "
+              "throughput under the byte budget");
+  return failed ? 1 : 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/replay_stream.hpp"
+#include "core/sharded_engine.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -75,7 +76,11 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
     run_budget.capacity_bytes =
         method.budget_schedule.capacity_for_task(0, 1, run_budget.capacity_bytes);
   }
-  LatentReplayBuffer buffer(method.storage_codec, method.cl_timesteps, run_budget);
+  // The replay store is a ShardedReplayEngine; shards=1 (the default) is
+  // bit-identical to the LatentReplayBuffer this engine refactored out, so
+  // unsharded runs reproduce the pre-engine results byte for byte.
+  ShardedReplayEngine buffer(method.storage_codec, method.cl_timesteps, run_budget,
+                             method.replay_sharding);
   const bool importance_feedback = method.use_replay && method.importance_feedback &&
                                    is_importance_policy(method.replay_budget.policy);
   if (method.use_replay) {

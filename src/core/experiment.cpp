@@ -102,6 +102,15 @@ void apply_replay_overrides(NclMethodConfig& method, const Config& cfg) {
   }
   method.importance_feedback =
       cfg.get_bool("importance_feedback", method.importance_feedback);
+  // Sharding knobs (ShardedReplayEngine): shards=1 keeps runs bit-identical
+  // to the single-buffer era; both validate eagerly like the knobs above.
+  const long long shards =
+      cfg.get_int("shards", static_cast<long long>(method.replay_sharding.shards));
+  R4NCL_CHECK(shards >= 1, "shards=" << shards << " must be a positive shard count");
+  method.replay_sharding.shards = static_cast<std::size_t>(shards);
+  if (const auto shard_by = cfg.get("shard_by")) {
+    method.replay_sharding.shard_by = parse_shard_key(*shard_by);
+  }
 }
 
 std::vector<std::string_view> standard_cli_keys() {
@@ -109,7 +118,8 @@ std::vector<std::string_view> standard_cli_keys() {
           "cache_dir",       "epochs",              "importance_feedback",
           "latent_bits",     "policy",              "pretrain_epochs",
           "replay_samples",  "replay_seed",         "replay_stream",
-          "scale",           "threads",             "verbose"};
+          "scale",           "shard_by",            "shards",
+          "threads",         "verbose"};
 }
 
 void validate_standard_keys(const Config& cfg,

@@ -56,6 +56,9 @@ NclMethodConfig bench_spiking_lr();
 ///   replay_seed=<n>         the buffer's private eviction-stream seed
 ///   importance_feedback=<0|1>  feed per-sample replay errors back into the
 ///                           importance scores (importance policies only)
+///   shards=<n>              replay-store shard count (ShardedReplayEngine;
+///                           1 = bit-identical single-buffer behaviour)
+///   shard_by=<class|hash>   shard routing key for adds
 /// Keys absent from `cfg` (and the R4NCL_* environment) leave the method's
 /// own defaults untouched.  Every value validates eagerly with a pinned
 /// message naming the valid set — negative bytes/counts/seeds, policy

@@ -121,11 +121,31 @@ BudgetSchedule parse_budget_schedule(std::string_view spec) {
   return schedule;
 }
 
+std::vector<std::size_t> draw_replay_indices(std::size_t population, std::size_t k,
+                                             Rng& rng) {
+  std::vector<std::size_t> indices(population);
+  for (std::size_t i = 0; i < population; ++i) indices[i] = i;
+  // Whole-population draws keep storage order and consume no rng draws — the
+  // materialize() fallback of sample(), preserved so streamed and
+  // materialized paths stay bit-identical run-for-run.
+  if (k >= population) return indices;
+  // Partial Fisher–Yates: the first k slots become a uniform draw without
+  // replacement, consuming exactly k rng draws in sample()'s order.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.uniform_index(population - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
 LatentReplayBuffer::LatentReplayBuffer(const compress::CodecConfig& codec,
                                        std::size_t activation_timesteps,
                                        const ReplayBufferConfig& budget)
     : codec_(codec), activation_timesteps_(activation_timesteps), budget_(budget),
-      rng_(budget.seed) {
+      rng_(budget.seed),
+      uses_class_queues_(budget.policy == ReplayPolicy::kClassBalanced ||
+                         budget.policy == ReplayPolicy::kImportanceClassBalanced) {
   R4NCL_CHECK(activation_timesteps > 0, "activation_timesteps must be positive");
   R4NCL_CHECK(codec.ratio >= 1, "codec ratio must be >= 1");
   R4NCL_CHECK(codec.latent_bits == 0 || compress::valid_payload_bits(codec.latent_bits),
@@ -215,6 +235,11 @@ bool LatentReplayBuffer::add(const data::SpikeRaster& raster, std::int32_t label
     slots_.push_back(std::move(entry));
   }
   order_.push_back(slot);
+  if (uses_class_queues_) {
+    if (order_pos_.size() < slots_.size()) order_pos_.resize(slots_.size());
+    order_pos_[slot] = static_cast<std::uint32_t>(order_.size() - 1);
+    class_queues_[label].push_back(slot);
+  }
   return true;
 }
 
@@ -223,11 +248,28 @@ void LatentReplayBuffer::evict_at(std::size_t index) {
   const std::uint32_t slot = order_[pos];
   Entry& victim = slots_[slot];
   memory_bytes_ -= entry_bytes(victim);
+  const std::int32_t victim_label = victim.label;
   auto it = std::lower_bound(class_counts_.begin(), class_counts_.end(), victim.label,
                              [](const auto& p, std::int32_t l) { return p.first < l; });
   if (--it->second == 0) class_counts_.erase(it);
   victim = Entry{};  // release the payload allocation now, not at compaction
   free_slots_.push_back(slot);
+  if (uses_class_queues_) {
+    auto queue_it = class_queues_.find(victim_label);
+    R4NCL_CHECK(queue_it != class_queues_.end() && !queue_it->second.empty(),
+                "class queue out of sync with entries");
+    auto& queue = queue_it->second;
+    if (queue.front() == slot) {
+      // Balanced victims are the oldest of their class, so this is the hot
+      // path; only importance-scored victims land mid-queue.
+      queue.pop_front();
+    } else {
+      const auto slot_it = std::find(queue.begin(), queue.end(), slot);
+      R4NCL_CHECK(slot_it != queue.end(), "class queue out of sync with entries");
+      queue.erase(slot_it);
+    }
+    if (queue.empty()) class_queues_.erase(queue_it);
+  }
   if (index == 0) {
     // FIFO hot case: bump the ring head instead of erasing, and compact the
     // dead prefix only once it dominates — amortized O(1) per eviction where
@@ -235,12 +277,22 @@ void LatentReplayBuffer::evict_at(std::size_t index) {
     ++head_;
     if (head_ >= 64 && head_ * 2 >= order_.size()) {
       order_.erase(order_.begin(), order_.begin() + static_cast<std::ptrdiff_t>(head_));
+      if (uses_class_queues_) {
+        for (const std::uint32_t s : order_) {
+          order_pos_[s] -= static_cast<std::uint32_t>(head_);
+        }
+      }
       head_ = 0;
     }
   } else {
     // Middle eviction (reservoir victim / balanced class): splice out a
     // 4-byte slot id; the Entry payloads never move.
     order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(pos));
+    if (uses_class_queues_) {
+      for (std::size_t p = pos; p < order_.size(); ++p) {
+        order_pos_[order_[p]] = static_cast<std::uint32_t>(p);
+      }
+    }
   }
   ++evictions_;
 }
@@ -261,11 +313,14 @@ std::int32_t LatentReplayBuffer::heaviest_class(const std::int32_t* incoming) co
 
 std::size_t LatentReplayBuffer::balanced_victim(const std::int32_t* incoming) const {
   const std::int32_t heaviest = heaviest_class(incoming);
-  const std::size_t n = size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (entry_at(i).label == heaviest) return i;
+  // The class queue is kept in insertion order, so its front is exactly the
+  // oldest stored entry of the heaviest class the old O(n) ring scan found —
+  // now O(#classes) total (the heaviest_class() walk dominates).
+  const auto it = class_queues_.find(heaviest);
+  if (it == class_queues_.end() || it->second.empty()) {
+    throw Error("class accounting out of sync with entries");
   }
-  throw Error("class accounting out of sync with entries");
+  return order_pos_[it->second.front()] - head_;
 }
 
 std::size_t LatentReplayBuffer::least_important_victim() const {
@@ -288,20 +343,23 @@ std::size_t LatentReplayBuffer::least_important_victim() const {
 std::size_t LatentReplayBuffer::importance_balanced_victim(
     const std::int32_t* incoming) const {
   const std::int32_t heaviest = heaviest_class(incoming);
-  const std::size_t n = size();
-  std::size_t victim = n;
-  float lowest = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) {
-    const Entry& e = entry_at(i);
-    if (e.label != heaviest) continue;
-    const float score = e.importance();
-    if (victim == n || score < lowest) {
-      victim = i;
+  const auto it = class_queues_.find(heaviest);
+  if (it == class_queues_.end() || it->second.empty()) {
+    throw Error("class accounting out of sync with entries");
+  }
+  // Walk one class queue (insertion order) instead of the whole ring; strict
+  // < keeps ties on the oldest entry of the class, exactly as the ring scan
+  // did, so the victim sequence is bit-identical.
+  std::uint32_t victim_slot = it->second.front();
+  float lowest = slots_[victim_slot].importance();
+  for (const std::uint32_t slot : it->second) {
+    const float score = slots_[slot].importance();
+    if (score < lowest) {
+      victim_slot = slot;
       lowest = score;
     }
   }
-  if (victim == n) throw Error("class accounting out of sync with entries");
-  return victim;
+  return order_pos_[victim_slot] - head_;
 }
 
 void LatentReplayBuffer::evict_until_fits(std::size_t capacity, std::size_t bytes,
@@ -405,21 +463,7 @@ data::Dataset LatentReplayBuffer::materialize(snn::SpikeOpStats* stats) const {
 }
 
 std::vector<std::size_t> LatentReplayBuffer::draw_indices(std::size_t k, Rng& rng) const {
-  const std::size_t n = size();
-  std::vector<std::size_t> indices(n);
-  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
-  // Whole-buffer draws keep storage order and consume no rng draws — the
-  // materialize() fallback of sample(), preserved so streamed and
-  // materialized paths stay bit-identical run-for-run.
-  if (k >= n) return indices;
-  // Partial Fisher–Yates: the first k slots become a uniform draw without
-  // replacement, consuming exactly k rng draws in sample()'s order.
-  for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t j = i + static_cast<std::size_t>(rng.uniform_index(n - i));
-    std::swap(indices[i], indices[j]);
-  }
-  indices.resize(k);
-  return indices;
+  return draw_replay_indices(size(), k, rng);
 }
 
 std::vector<std::size_t> LatentReplayBuffer::sample_into(std::size_t k, Rng& rng,

@@ -39,7 +39,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -151,7 +153,38 @@ inline constexpr std::uint64_t kReplayDrawSeedSalt = 0xA11CE5EEDBEEFULL;
 /// bad epoch cannot un-pin an entry the trainer consistently gets wrong.
 inline constexpr float kOutcomeEma = 0.25f;
 
-class LatentReplayBuffer {
+/// Uniform draw without replacement over [0, population) — the shared index
+/// draw behind LatentReplayBuffer::draw_indices and the sharded engine's
+/// global (cross-shard) draw.  k >= population returns the identity
+/// permutation and consumes no rng draws (the materialize() fallback);
+/// otherwise a partial Fisher–Yates consumes exactly k draws.
+[[nodiscard]] std::vector<std::size_t> draw_replay_indices(std::size_t population,
+                                                           std::size_t k, Rng& rng);
+
+/// Read-side interface over a store of replayable latent entries addressed by
+/// logical index.  ReplayStream drives its decode through this, so one
+/// streaming cursor implementation serves both a single LatentReplayBuffer
+/// and the ShardedReplayEngine's concatenated (cross-shard) index space.
+class ReplayEntrySource {
+ public:
+  virtual ~ReplayEntrySource() = default;
+
+  /// Live entries addressable as logical indices [0, size()).
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+  /// Timestep length of the rasters decompress_into() produces.
+  [[nodiscard]] virtual std::size_t activation_timesteps() const noexcept = 0;
+  /// Channel width of the stored activations (0 while empty).
+  [[nodiscard]] virtual std::size_t channels() const noexcept = 0;
+  /// Label of the entry at logical `index` (no decode).
+  [[nodiscard]] virtual std::int32_t label_at(std::size_t index) const = 0;
+  /// Decompresses the entry at logical `index` into `out`, reusing its
+  /// allocations (and `levels_scratch` for quantized payload codes).
+  virtual void decompress_into(std::size_t index, data::Sample& out,
+                               snn::SpikeOpStats* stats,
+                               std::vector<std::uint8_t>* levels_scratch) const = 0;
+};
+
+class LatentReplayBuffer : public ReplayEntrySource {
  public:
   /// `activation_timesteps` is the timestep length of the rasters handed to
   /// add() (and returned by materialize()); the codec may store fewer.
@@ -167,11 +200,11 @@ class LatentReplayBuffer {
   bool add(const data::SpikeRaster& raster, std::int32_t label);
 
   /// Channel width of the stored activations (0 while empty).
-  [[nodiscard]] std::size_t channels() const noexcept { return channels_; }
+  [[nodiscard]] std::size_t channels() const noexcept override { return channels_; }
 
-  [[nodiscard]] std::size_t size() const noexcept { return order_.size() - head_; }
+  [[nodiscard]] std::size_t size() const noexcept override { return order_.size() - head_; }
   [[nodiscard]] bool empty() const noexcept { return order_.size() == head_; }
-  [[nodiscard]] std::size_t activation_timesteps() const noexcept {
+  [[nodiscard]] std::size_t activation_timesteps() const noexcept override {
     return activation_timesteps_;
   }
   [[nodiscard]] const compress::CodecConfig& codec() const noexcept { return codec_; }
@@ -237,7 +270,7 @@ class LatentReplayBuffer {
                                     snn::SpikeOpStats* stats = nullptr) const;
 
   /// Label of the entry at logical index `index` (no decode).
-  [[nodiscard]] std::int32_t label_at(std::size_t index) const;
+  [[nodiscard]] std::int32_t label_at(std::size_t index) const override;
 
   /// Spike density of the entry at logical `index`, recorded at add() time
   /// (spikes / (timesteps × channels) of the *source* raster) — the static
@@ -276,7 +309,7 @@ class LatentReplayBuffer {
   /// as sample()/materialize() do.
   void decompress_into(std::size_t index, data::Sample& out,
                        snn::SpikeOpStats* stats = nullptr,
-                       std::vector<std::uint8_t>* levels_scratch = nullptr) const;
+                       std::vector<std::uint8_t>* levels_scratch = nullptr) const override;
 
   /// Stored bits per payload element (0 = legacy binary storage).
   [[nodiscard]] std::uint8_t latent_bits() const noexcept { return codec_.latent_bits; }
@@ -364,6 +397,17 @@ class LatentReplayBuffer {
   std::size_t head_ = 0;
   /// Parallel per-class counts (label → stored entries), kept sorted.
   std::vector<std::pair<std::int32_t, std::size_t>> class_counts_;
+  /// Balanced-victim index, maintained only for the class-balanced policies
+  /// (uses_class_queues_): per-class FIFO queues of slot ids in insertion
+  /// order.  The kClassBalanced victim is the queue front of the heaviest
+  /// class — O(#classes) per eviction instead of an O(n) ring scan — and the
+  /// kImportanceClassBalanced scan walks one class queue instead of the ring.
+  std::map<std::int32_t, std::deque<std::uint32_t>> class_queues_;
+  /// slot id → absolute position in order_ (logical index = position -
+  /// head_), so a queued slot resolves to its logical index without a scan.
+  /// Only maintained when uses_class_queues_.
+  std::vector<std::uint32_t> order_pos_;
+  bool uses_class_queues_ = false;
 };
 
 }  // namespace r4ncl::core

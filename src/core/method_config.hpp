@@ -17,6 +17,7 @@
 
 #include "compress/spike_codec.hpp"
 #include "core/latent_buffer.hpp"
+#include "core/sharded_engine.hpp"
 #include "data/spike_data.hpp"
 #include "snn/network.hpp"
 
@@ -77,6 +78,12 @@ struct NclMethodConfig {
   /// peak replay-assembly memory drops from draw-size × raster bytes to one
   /// batch of rasters.  CLI knob: replay_stream=1.
   bool replay_stream = false;
+  /// Replay-store sharding (ShardedReplayEngine): shards=1 (the default)
+  /// keeps every run bit-identical to the single LatentReplayBuffer era;
+  /// shards>1 splits the byte budget into independently locked shards routed
+  /// by `shard_by` so concurrent device streams can share one engine.  CLI
+  /// knobs: shards=<n>, shard_by=class|hash.
+  ShardedEngineConfig replay_sharding{};
   std::size_t batch_size = 16;
 
   /// Builds the ThresholdPolicy implied by this method.

@@ -17,8 +17,11 @@
 //                valid until the next fetch()/next().
 // Both charge decompress_bits per decoded entry, exactly as sample() does.
 //
-// The stream borrows the buffer: it must outlive the stream and must not be
-// mutated (add/evict) while the stream is open.
+// The stream reads through the ReplayEntrySource interface, so one cursor
+// implementation serves a single LatentReplayBuffer and the sharded engine's
+// concatenated cross-shard index space alike.  It borrows the source: it must
+// outlive the stream and must not be mutated (add/evict) while the stream is
+// open.
 #pragma once
 
 #include <cstdint>
@@ -31,8 +34,9 @@ namespace r4ncl::core {
 
 class ReplayStream {
  public:
-  /// Use LatentReplayBuffer::stream() instead of constructing directly.
-  ReplayStream(const LatentReplayBuffer& buffer, std::vector<std::size_t> drawn,
+  /// Use LatentReplayBuffer::stream() / ShardedReplayEngine::stream() instead
+  /// of constructing directly.
+  ReplayStream(const ReplayEntrySource& source, std::vector<std::size_t> drawn,
                std::size_t minibatch, snn::SpikeOpStats* stats);
 
   /// Entries in the draw.
@@ -69,7 +73,7 @@ class ReplayStream {
   void decode_to_slot(std::size_t slot, std::size_t ordinal);
   void note_assembly_bytes(std::size_t live_slots) noexcept;
 
-  const LatentReplayBuffer* buffer_;
+  const ReplayEntrySource* source_;
   std::vector<std::size_t> drawn_;
   std::size_t minibatch_;
   snn::SpikeOpStats* stats_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/replay_stream.hpp"
+#include "core/sharded_engine.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -65,7 +66,11 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
     run_budget.capacity_bytes = method.budget_schedule.capacity_for_task(
         0, tasks.task_classes.size(), run_budget.capacity_bytes);
   }
-  LatentReplayBuffer buffer(method.storage_codec, method.cl_timesteps, run_budget);
+  // The replay store is a ShardedReplayEngine; shards=1 (the default) is
+  // bit-identical to the LatentReplayBuffer this engine refactored out, so
+  // unsharded runs reproduce the pre-engine results byte for byte.
+  ShardedReplayEngine buffer(method.storage_codec, method.cl_timesteps, run_budget,
+                             method.replay_sharding);
   snn::SpikeOpStats prep_stats;
   {
     const data::Dataset rescaled =

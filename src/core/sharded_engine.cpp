@@ -1,0 +1,257 @@
+#include "core/sharded_engine.hpp"
+
+#include <iterator>
+#include <map>
+
+#include "core/replay_stream.hpp"
+#include "util/error.hpp"
+
+namespace r4ncl::core {
+
+std::string_view to_string(ShardKey key) noexcept {
+  switch (key) {
+    case ShardKey::kClass: return "class";
+    case ShardKey::kHash: return "hash";
+  }
+  return "unknown";
+}
+
+ShardKey parse_shard_key(std::string_view name) {
+  if (name == "class") return ShardKey::kClass;
+  if (name == "hash") return ShardKey::kHash;
+  throw Error("unknown shard_by '" + std::string(name) + "' (expected class|hash)");
+}
+
+std::uint64_t raster_route_hash(const data::SpikeRaster& raster,
+                                std::int32_t label) noexcept {
+  // FNV-1a 64-bit over the 0/1 payload, then the label bytes: cheap, stable
+  // across platforms, and spreads label-skewed streams by content rather
+  // than by class.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t bit : raster.bits) {
+    h = (h ^ bit) * 0x100000001b3ULL;
+  }
+  const auto u = static_cast<std::uint32_t>(label);
+  for (int shift = 0; shift < 32; shift += 8) {
+    h = (h ^ ((u >> shift) & 0xffu)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+ShardedReplayEngine::ShardedReplayEngine(const compress::CodecConfig& codec,
+                                         std::size_t activation_timesteps,
+                                         const ReplayBufferConfig& budget,
+                                         const ShardedEngineConfig& sharding)
+    : activation_timesteps_(activation_timesteps), sharding_(sharding),
+      capacity_bytes_(budget.capacity_bytes) {
+  R4NCL_CHECK(sharding.shards >= 1, "shards must be >= 1, got " << sharding.shards);
+  shards_.reserve(sharding.shards);
+  for (std::size_t i = 0; i < sharding.shards; ++i) {
+    ReplayBufferConfig shard_budget = budget;
+    shard_budget.capacity_bytes = shard_capacity(budget.capacity_bytes, i);
+    // i=0 xors in 0, so the first shard — and therefore the whole shards=1
+    // engine — keeps the buffer's exact eviction stream.
+    shard_budget.seed = budget.seed ^ (static_cast<std::uint64_t>(i) * kShardSeedMix);
+    shards_.push_back(std::make_unique<Shard>(codec, activation_timesteps, shard_budget));
+  }
+}
+
+std::size_t ShardedReplayEngine::shard_capacity(std::size_t total,
+                                                std::size_t i) const noexcept {
+  if (total == 0) return 0;  // unbounded stays unbounded for every shard
+  const std::size_t shards = sharding_.shards;
+  return total / shards + (i < total % shards ? 1 : 0);
+}
+
+std::size_t ShardedReplayEngine::shard_of(const data::SpikeRaster& raster,
+                                          std::int32_t label) const noexcept {
+  if (shards_.size() == 1) return 0;
+  switch (sharding_.shard_by) {
+    case ShardKey::kClass:
+      return static_cast<std::uint32_t>(label) % shards_.size();
+    case ShardKey::kHash:
+      return static_cast<std::size_t>(raster_route_hash(raster, label) % shards_.size());
+  }
+  return 0;
+}
+
+bool ShardedReplayEngine::add(const data::SpikeRaster& raster, std::int32_t label) {
+  Shard& sh = *shards_[shard_of(raster, label)];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  return sh.buffer.add(raster, label);
+}
+
+const LatentReplayBuffer& ShardedReplayEngine::shard(std::size_t i) const {
+  R4NCL_CHECK(i < shards_.size(), "shard " << i << " out of " << shards_.size());
+  return shards_[i]->buffer;
+}
+
+std::size_t ShardedReplayEngine::size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    total += sh->buffer.size();
+  }
+  return total;
+}
+
+std::size_t ShardedReplayEngine::channels() const noexcept {
+  // All shards store rasters of the run's one insertion-layer width; report
+  // the first shard that has fixed it (0 while the whole engine is empty).
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    const std::size_t c = sh->buffer.channels();
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+bool ShardedReplayEngine::with_entry(
+    std::size_t index,
+    const std::function<void(LatentReplayBuffer&, std::size_t)>& fn) const {
+  // The global logical index space concatenates the shards' logical orders;
+  // walk shards in order, locking one at a time, until the owner is found.
+  std::size_t skipped = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    const std::size_t n = sh->buffer.size();
+    if (index - skipped < n) {
+      fn(sh->buffer, index - skipped);
+      return true;
+    }
+    skipped += n;
+  }
+  return false;
+}
+
+std::int32_t ShardedReplayEngine::label_at(std::size_t index) const {
+  std::int32_t label = 0;
+  const bool found = with_entry(index, [&](LatentReplayBuffer& b, std::size_t local) {
+    label = b.label_at(local);
+  });
+  R4NCL_CHECK(found, "entry " << index << " out of " << size());
+  return label;
+}
+
+void ShardedReplayEngine::decompress_into(std::size_t index, data::Sample& out,
+                                          snn::SpikeOpStats* stats,
+                                          std::vector<std::uint8_t>* levels_scratch) const {
+  const bool found = with_entry(index, [&](LatentReplayBuffer& b, std::size_t local) {
+    b.decompress_into(local, out, stats, levels_scratch);
+  });
+  R4NCL_CHECK(found, "entry " << index << " out of " << size());
+}
+
+float ShardedReplayEngine::importance_at(std::size_t index) const {
+  float score = 0.0f;
+  const bool found = with_entry(index, [&](LatentReplayBuffer& b, std::size_t local) {
+    score = b.importance_at(local);
+  });
+  R4NCL_CHECK(found, "entry " << index << " out of " << size());
+  return score;
+}
+
+void ShardedReplayEngine::report_outcome(std::size_t index, float score) {
+  // Out-of-range indices are dropped, not thrown: under concurrent fleet
+  // traffic a drawn entry may be displaced before its outcome lands, and
+  // losing one EMA observation is the correct degradation.  Single-threaded
+  // runs (the shards=1 contract) never take the miss branch.
+  (void)with_entry(index, [score](LatentReplayBuffer& b, std::size_t local) {
+    b.report_outcome(local, score);
+  });
+}
+
+void ShardedReplayEngine::set_capacity(std::size_t new_capacity_bytes) {
+  capacity_bytes_ = new_capacity_bytes;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& sh = *shards_[i];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.buffer.set_capacity(shard_capacity(new_capacity_bytes, i));
+  }
+}
+
+std::size_t ShardedReplayEngine::memory_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    total += sh->buffer.memory_bytes();
+  }
+  return total;
+}
+
+std::size_t ShardedReplayEngine::stream_seen() const noexcept {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    total += sh->buffer.stream_seen();
+  }
+  return total;
+}
+
+std::size_t ShardedReplayEngine::evictions() const noexcept {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    total += sh->buffer.evictions();
+  }
+  return total;
+}
+
+std::vector<std::pair<std::int32_t, std::size_t>> ShardedReplayEngine::class_occupancy()
+    const {
+  std::map<std::int32_t, std::size_t> merged;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    for (const auto& [label, count] : sh->buffer.class_occupancy()) {
+      merged[label] += count;
+    }
+  }
+  return {merged.begin(), merged.end()};
+}
+
+std::vector<std::size_t> ShardedReplayEngine::draw_indices(std::size_t k, Rng& rng) const {
+  return draw_replay_indices(size(), k, rng);
+}
+
+std::vector<std::size_t> ShardedReplayEngine::sample_into(std::size_t k, Rng& rng,
+                                                          data::Dataset& out,
+                                                          snn::SpikeOpStats* stats) const {
+  std::vector<std::size_t> drawn = draw_indices(k, rng);
+  out.reserve(out.size() + drawn.size());
+  for (const std::size_t index : drawn) {
+    data::Sample s;
+    const bool found = with_entry(index, [&](LatentReplayBuffer& b, std::size_t local) {
+      b.decompress_into(local, s, stats);
+    });
+    // Entries displaced between draw and decode (concurrent writers) are
+    // skipped; a single-threaded engine decodes every drawn entry, exactly
+    // like LatentReplayBuffer::sample_into.
+    if (found) out.push_back(std::move(s));
+  }
+  return drawn;
+}
+
+data::Dataset ShardedReplayEngine::sample(std::size_t k, Rng& rng,
+                                          snn::SpikeOpStats* stats) const {
+  data::Dataset out;
+  (void)sample_into(k, rng, out, stats);
+  return out;
+}
+
+data::Dataset ShardedReplayEngine::materialize(snn::SpikeOpStats* stats) const {
+  data::Dataset out;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    data::Dataset part = sh->buffer.materialize(stats);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+ReplayStream ShardedReplayEngine::stream(std::size_t k, Rng& rng, std::size_t minibatch,
+                                         snn::SpikeOpStats* stats) const {
+  return ReplayStream(*this, draw_indices(k, rng), minibatch, stats);
+}
+
+}  // namespace r4ncl::core

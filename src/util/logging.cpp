@@ -12,6 +12,9 @@ namespace r4ncl {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_emit_mutex;
+/// Guarded by g_emit_mutex (both swap and call), so replacing the sink can
+/// never race an emission already formatting through the old one.
+LogSink g_sink;  // empty = default stderr sink
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,6 +29,11 @@ const char* level_name(LogLevel level) {
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  g_sink = std::move(sink);
+}
 
 LogLevel parse_log_level(const std::string& s) noexcept {
   std::string lower;
@@ -51,6 +59,10 @@ void log_emit(LogLevel level, const std::string& message) {
   const double elapsed =
       std::chrono::duration<double>(clock::now() - start).count();
   std::lock_guard<std::mutex> lock(g_emit_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[%8.3fs %s] %s\n", elapsed, level_name(level), message.c_str());
 }
 

@@ -3,8 +3,14 @@
 // The library itself stays quiet at Info level except for experiment progress;
 // set R4NCL_LOG=debug|info|warn|error (env var) or call set_log_level() to
 // adjust verbosity.
+//
+// Thread safety: the level is an atomic and every emission (and sink swap)
+// holds one internal mutex, so concurrent shard workers can log without
+// interleaving partial lines and set_log_sink() never races an in-flight
+// message.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,6 +21,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global log threshold; messages below it are dropped.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// Destination of formatted log messages.  Invoked under the logger's
+/// emission mutex, so a sink body needs no locking of its own (and must not
+/// log re-entrantly).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the emission sink (default: stderr lines "[elapsed LEVEL] msg").
+/// An empty sink restores the default.  Swap and emission serialize on one
+/// mutex, so the previous sink is never mid-call when this returns.
+void set_log_sink(LogSink sink);
 
 /// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive); unknown
 /// strings map to kInfo.

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -94,6 +95,29 @@ void parallel_for(std::size_t begin, std::size_t end,
   }
   for (auto& t : pool) t.join();
 #endif
+}
+
+void run_workers(std::size_t workers, const std::function<void(std::size_t)>& body) {
+  if (workers == 0) return;
+  // Coarse stateful tasks, not loop iterations: always plain std::threads
+  // (even for one worker), so OpenMP runtime quirks never shape fleet
+  // concurrency and TSan sees the real threading.
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([w, &body, &first_error, &error_mu] {
+      try {
+        body(w);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace r4ncl

@@ -30,4 +30,14 @@ void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain = 1);
 
+/// Worker-pool entry point for long-lived concurrent tasks (fleet device
+/// streams against a ShardedReplayEngine, stress tests): spawns exactly
+/// `workers` std::threads running body(worker_index) and joins them all.
+/// Unlike parallel_for this never dispatches through OpenMP (the workers are
+/// coarse, stateful tasks, not loop iterations) and never runs serially —
+/// workers == 1 still gets its own thread, so sanitizer lanes exercise the
+/// real threading path.  The first exception a worker throws is rethrown on
+/// the caller after every worker has joined; later ones are dropped.
+void run_workers(std::size_t workers, const std::function<void(std::size_t)>& body);
+
 }  // namespace r4ncl

@@ -2,6 +2,7 @@
 #include <atomic>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -79,6 +80,49 @@ TEST(Parallel, SmallGrainRunsSerial) {
   parallel_for(0, 10, [&](std::size_t i) { visits[i] += 1; }, 1);
   for (int v : visits) EXPECT_EQ(v, 1);
   set_num_threads(2);
+}
+
+TEST(RunWorkers, EveryWorkerIndexRunsOnItsOwnThread) {
+  const std::size_t workers = 6;
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  std::vector<int> visits(workers, 0);
+  run_workers(workers, [&](std::size_t w) {
+    std::lock_guard<std::mutex> lock(mu);
+    visits[w] += 1;
+    ids.insert(std::this_thread::get_id());
+  });
+  for (int v : visits) EXPECT_EQ(v, 1);
+  // Coarse fleet tasks get a dedicated thread each, never OpenMP or a serial
+  // collapse — that is the whole point of the entry point.
+  EXPECT_EQ(ids.size(), workers);
+}
+
+TEST(RunWorkers, SingleWorkerStillGetsAThread) {
+  std::thread::id body_id;
+  run_workers(1, [&](std::size_t) { body_id = std::this_thread::get_id(); });
+  EXPECT_NE(body_id, std::this_thread::get_id());
+}
+
+TEST(RunWorkers, ZeroWorkersIsNoop) {
+  bool called = false;
+  run_workers(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(RunWorkers, RethrowsFirstWorkerExceptionAfterJoin) {
+  std::atomic<int> completed{0};
+  try {
+    run_workers(4, [&](std::size_t w) {
+      if (w == 2) throw std::runtime_error("worker 2 failed");
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker 2 failed");
+  }
+  // The pool joined everyone before rethrowing: no worker was abandoned.
+  EXPECT_EQ(completed.load(), 3);
 }
 
 }  // namespace

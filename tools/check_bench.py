@@ -9,8 +9,11 @@ Validates three things for every known bench artifact:
 2. Self-check fields — invariants the generating benches themselves enforce
    must still hold in the committed data: sample-vs-stream spike-checksum
    parity, streamed peak-assembly bytes strictly under the materialized
-   peak, buffer bytes within the byte budget, and delta_vs_unbounded
-   agreeing with the accuracy columns.
+   peak, buffer bytes within the byte budget, delta_vs_unbounded agreeing
+   with the accuracy columns, and — for the fleet bench — deterministic
+   checksum parity across reps, shards=1 bit-identity anchoring, exact
+   lifetime accounting (entries == adds - evictions) and >= 4 concurrent
+   device streams.
 3. Pinned headline statistics — the numbers the README/ROADMAP quote may
    not silently regress past tolerance when a sweep is refreshed: the
    importance policies must match or beat the best content-blind policy at
@@ -68,6 +71,14 @@ REPLAY_STREAM_COLUMNS = [
     "mode", "codec", "latent_bits", "minibatch", "draws", "wall_ms", "ns_per_elem",
     "peak_assembly_bytes", "decompress_mbits", "spike_checksum",
 ]
+FLEET_COLUMNS = [
+    "mode", "streams", "shards", "shard_by", "policy", "adds", "entries",
+    "evictions", "memory_bytes", "capacity_bytes", "wall_ms", "adds_per_sec",
+    "checksum", "rep",
+]
+# The fleet bench's acceptance floor: concurrent rows must exercise at least
+# this many real device threads against the shared engine.
+FLEET_MIN_CONCURRENT_STREAMS = 4
 
 
 class GateFailure(Exception):
@@ -289,10 +300,81 @@ def check_baseline(doc) -> int:
     return checks
 
 
+# ---- BENCH_fleet_replay.json -------------------------------------------------
+
+def check_fleet_replay(doc) -> int:
+    ctx = "fleet_replay"
+    rows = require_envelope(doc, ctx)
+    require_columns(rows, FLEET_COLUMNS, ctx)
+    checks = 0
+
+    # Self-check on every row: the lifetime accounting balances exactly and
+    # the byte budget held (capacity 0 would mean unbounded).
+    for i, row in enumerate(rows):
+        where = f"{ctx}: row {i} ({row['mode']}/shards{row['shards']}/rep{row['rep']})"
+        if row["mode"] not in ("det", "concurrent"):
+            raise GateFailure(f"{where}: unknown mode {row['mode']!r}")
+        adds = fnum(row, "adds", where)
+        entries = fnum(row, "entries", where)
+        evictions = fnum(row, "evictions", where)
+        if entries != adds - evictions:
+            raise GateFailure(
+                f"{where}: entries {entries} != adds {adds} - evictions {evictions}")
+        capacity = fnum(row, "capacity_bytes", where)
+        if capacity > 0 and fnum(row, "memory_bytes", where) > capacity:
+            raise GateFailure(
+                f"{where}: memory_bytes {row['memory_bytes']} exceeds "
+                f"capacity_bytes {row['capacity_bytes']}")
+        if fnum(row, "adds_per_sec", where) <= 0:
+            raise GateFailure(f"{where}: non-positive adds_per_sec")
+        checks += 3
+
+    # Self-check: det rows are deterministic — every rep of a (shards,
+    # shard_by) cell must report the same final-state checksum.
+    det_cells = {}
+    for row in rows:
+        if row["mode"] == "det":
+            det_cells.setdefault((row["shards"], row["shard_by"]), []).append(row)
+    if not det_cells:
+        raise GateFailure(f"{ctx}: no det-mode rows")
+    for cell, cell_rows in sorted(det_cells.items()):
+        if len(cell_rows) < 2:
+            raise GateFailure(f"{ctx}: det cell {cell} has a single rep; "
+                              f"checksum parity needs >= 2")
+        checksums = {r["checksum"] for r in cell_rows}
+        if len(checksums) != 1:
+            raise GateFailure(
+                f"{ctx}: det cell {cell} reps disagree on checksum: {sorted(checksums)}")
+        checks += 1
+
+    # The bit-identity anchor (shards=1, checked in-binary against the plain
+    # LatentReplayBuffer) must be part of the sweep.
+    if not any(shards == "1" for shards, _ in det_cells):
+        raise GateFailure(f"{ctx}: no shards=1 det rows — bit-identity anchor missing")
+    checks += 1
+
+    # Headline: concurrent rows ran with a real fleet (>= 4 device threads)
+    # and at least one multi-shard configuration.
+    concurrent = [r for r in rows if r["mode"] == "concurrent"]
+    if not concurrent:
+        raise GateFailure(f"{ctx}: no concurrent-mode rows")
+    for row in concurrent:
+        streams = fnum(row, "streams", f"{ctx}: concurrent row")
+        if streams < FLEET_MIN_CONCURRENT_STREAMS:
+            raise GateFailure(
+                f"{ctx}: concurrent row ran only {streams:.0f} streams "
+                f"(floor is {FLEET_MIN_CONCURRENT_STREAMS})")
+    if not any(fnum(r, "shards", ctx) > 1 for r in concurrent):
+        raise GateFailure(f"{ctx}: no concurrent rows with shards > 1")
+    checks += 2
+    return checks
+
+
 CHECKS = {
     "BENCH_budget_sweep.json": check_budget_sweep,
     "BENCH_replay_stream.json": check_replay_stream,
     "BENCH_baseline.json": check_baseline,
+    "BENCH_fleet_replay.json": check_fleet_replay,
 }
 
 
@@ -329,10 +411,12 @@ def self_test(directory: Path) -> int:
     sweep = load(directory / "BENCH_budget_sweep.json")
     stream = load(directory / "BENCH_replay_stream.json")
     baseline = load(directory / "BENCH_baseline.json")
+    fleet = load(directory / "BENCH_fleet_replay.json")
     # The pristine copies must pass before corruption means anything.
     check_budget_sweep(copy.deepcopy(sweep))
     check_replay_stream(copy.deepcopy(stream))
     check_baseline(copy.deepcopy(baseline))
+    check_fleet_replay(copy.deepcopy(fleet))
 
     cases = 0
 
@@ -400,6 +484,38 @@ def self_test(directory: Path) -> int:
     bad = copy.deepcopy(sweep)
     bad.pop("command")
     expect_failure("missing metadata envelope field", check_budget_sweep, bad)
+    cases += 1
+
+    bad = copy.deepcopy(fleet)
+    for row in bad["rows"]:
+        if row["mode"] == "det":
+            row["checksum"] = str(int(row["checksum"]) + 1)
+            break
+    expect_failure("fleet det checksum parity", check_fleet_replay, bad)
+    cases += 1
+
+    bad = copy.deepcopy(fleet)
+    bad["rows"][0]["entries"] = str(int(bad["rows"][0]["entries"]) + 1)
+    expect_failure("fleet lifetime accounting", check_fleet_replay, bad)
+    cases += 1
+
+    bad = copy.deepcopy(fleet)
+    for row in bad["rows"]:
+        row["memory_bytes"] = str(int(float(row["capacity_bytes"])) + 1)
+    expect_failure("fleet byte-budget overflow", check_fleet_replay, bad)
+    cases += 1
+
+    bad = copy.deepcopy(fleet)
+    for row in bad["rows"]:
+        if row["mode"] == "concurrent":
+            row["streams"] = "2"
+    expect_failure("fleet stream-count floor", check_fleet_replay, bad)
+    cases += 1
+
+    bad = copy.deepcopy(fleet)
+    bad["rows"] = [r for r in bad["rows"]
+                   if not (r["mode"] == "det" and r["shards"] == "1")]
+    expect_failure("fleet bit-identity anchor dropped", check_fleet_replay, bad)
     cases += 1
 
     return cases
