@@ -23,23 +23,42 @@
 //       ./budget_stream budget_schedule=linear:16384:4096 policy=low_importance
 //           (the budget shrinks at every task boundary — another subsystem
 //           claiming the replay region — with deterministic re-eviction)
+//       ./budget_stream checkpoint=run.ckpt stop_after=2 tasks=6
+//       ./budget_stream resume=run.ckpt checkpoint=run.ckpt tasks=6
+//           (power-cycle drill: the first invocation saves a full-state
+//           checkpoint after 2 tasks and exits; the second — a fresh
+//           process — resumes and finishes bit-identical to an
+//           uninterrupted run.  tools/run_resume_smoke.py automates this.)
 #include <cstdio>
+#include <exception>
 
 #include "core/experiment.hpp"
 #include "core/sequential.hpp"
+#include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 
 using namespace r4ncl;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_main(int argc, char** argv) {
   Config cfg = Config::from_args(argc, argv);
-  core::validate_standard_keys(cfg, {"tasks"});
+  core::validate_standard_keys(cfg, {"tasks", "stop_after"});
   init_log_level_from_env();
   init_threads_from_env();
   const std::size_t num_tasks = static_cast<std::size_t>(cfg.get_int("tasks", 6));
   const core::ReplayPolicy policy =
       core::parse_replay_policy(cfg.get_string("policy", "reservoir"));
+  // Checkpoint knobs validate eagerly — a bad cadence or a stop_after
+  // without a checkpoint path fails before any pre-training runs.
+  core::CheckpointOptions ckpt = core::checkpoint_options_from(cfg);
+  const long long stop_after = cfg.get_int("stop_after", 0);
+  R4NCL_CHECK(stop_after >= 0,
+              "stop_after=" << stop_after << " must be a non-negative task count");
+  R4NCL_CHECK(stop_after == 0 || ckpt.saving(),
+              "stop_after=" << stop_after << " requires checkpoint=<path>");
+  ckpt.stop_after_units = static_cast<std::size_t>(stop_after);
 
   core::PretrainConfig pc = core::pretrain_config_from(cfg);
   const data::SyntheticShdGenerator generator(pc.data_params);
@@ -98,7 +117,10 @@ int main(int argc, char** argv) {
                 std::string(core::to_string(policy)).c_str());
   }
 
-  const core::SequentialRunResult res = core::run_sequential(net, tasks, run);
+  if (ckpt.resuming()) {
+    std::printf("resuming from %s\n", ckpt.resume_path.c_str());
+  }
+  const core::SequentialRunResult res = core::run_sequential(net, tasks, run, ckpt);
   std::printf("task class  mem[B]/budget  entries evicted  acc_base acc_stream\n");
   for (const auto& row : res.rows) {
     // row.budget_bytes is the cap actually in force for this task — it
@@ -111,6 +133,13 @@ int main(int argc, char** argv) {
       std::printf("BUG: budget exceeded\n");
       return 1;
     }
+  }
+  if (res.rows.size() < num_tasks) {
+    // stop_after power-down: the checkpoint carries everything; a fresh
+    // process with resume= picks up at the next task.
+    std::printf("\nstopped after %zu/%zu tasks; checkpoint saved to %s\n",
+                res.rows.size(), num_tasks, ckpt.save_path.c_str());
+    return 0;
   }
 
   // Occupancy view: feed the same label stream into a standalone buffer
@@ -140,4 +169,21 @@ int main(int argc, char** argv) {
   std::printf("stream seen %zu, stored %zu, evicted %zu\n", occupancy.stream_seen(),
               occupancy.size(), occupancy.evictions());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Exit 2 distinguishes the pinned r4ncl::Error path (bad CLI values, a
+  // corrupt/mismatched checkpoint) from crashes and sanitizer aborts — the
+  // corruption sweep in tools/run_resume_smoke.py keys off it.
+  try {
+    return run_main(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 }

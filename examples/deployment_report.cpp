@@ -1,13 +1,34 @@
 // Deployment feasibility report: maps the paper's SNN and each method's
 // latent-replay buffer onto a Loihi-class neuromorphic chip budget.
 //
-// No training involved — pure resource arithmetic — so this runs instantly
-// and shows how the 20% latent-memory saving translates into on-chip SRAM
-// headroom for the embedded targets the paper motivates.
+// Part 1 is pure resource arithmetic — no training — showing how the 20%
+// latent-memory saving translates into on-chip SRAM headroom for the
+// embedded targets the paper motivates.
+//
+// Part 2 is the power-cycle drill those targets actually face: a mission is
+// killed mid-stream, the device reboots with *blank* weights, and the run
+// must resume from its checkpoint and finish bit-identical to a run that
+// was never interrupted.  The drill executes a tiny sequential scenario
+// three ways (uninterrupted / killed-after-one-task / resumed-from-disk),
+// compares every result row exactly, and reports the checkpoint footprint
+// against the chip's shared SRAM.  The report exits 1 on any divergence,
+// so CI runs it as a self-checking test (ctest -L resume_smoke).
+//
+// Run:  ./deployment_report              (report + drill)
+//       ./deployment_report drill=0      (resource report only)
+#include <algorithm>
 #include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/latent_buffer.hpp"
+#include "core/pretrain.hpp"
+#include "core/sequential.hpp"
 #include "metrics/hw_mapper.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 using namespace r4ncl;
@@ -27,9 +48,157 @@ std::size_t buffer_bytes(std::size_t width, std::size_t timesteps, std::uint32_t
   return buffer.memory_bytes();
 }
 
-}  // namespace
+/// Tiny deterministic scenario for the drill (same shape as the integration
+/// tests: 96-48-24-12 network, 6 classes, 24 timesteps) — small enough that
+/// three full runs stay in report territory, not bench territory.
+core::PretrainConfig drill_config() {
+  core::PretrainConfig cfg;
+  cfg.network.layer_sizes = {96, 48, 24, 12};
+  cfg.network.num_classes = 6;
+  cfg.network.seed = 31;
+  cfg.data_params.channels = 96;
+  cfg.data_params.classes = 6;
+  cfg.data_params.timesteps = 24;
+  cfg.data_params.seed = 37;
+  cfg.split.train_per_class = 8;
+  cfg.split.test_per_class = 4;
+  cfg.split.replay_per_class = 2;
+  cfg.split.seed = 41;
+  cfg.epochs = 4;
+  cfg.batch_size = 8;
+  return cfg;
+}
 
-int main() {
+snn::SnnNetwork drill_pretrained(const data::SequentialTasks& tasks) {
+  snn::SnnNetwork net(drill_config().network);
+  snn::AdamOptimizer opt;
+  snn::TrainOptions opts;
+  opts.epochs = drill_config().epochs;
+  opts.batch_size = drill_config().batch_size;
+  (void)snn::train_supervised(net, tasks.pretrain_train, opt, opts);
+  return net;
+}
+
+core::SequentialRunConfig drill_run() {
+  core::SequentialRunConfig cfg;
+  cfg.method = core::NclMethodConfig::replay4ncl(12);
+  cfg.method.lr_cl = 5e-4f;
+  cfg.method.batch_size = 8;
+  cfg.insertion_layer = 1;
+  cfg.epochs_per_task = 3;
+  cfg.replay_per_new_class = 2;
+  return cfg;
+}
+
+/// Exact comparison of two result-row tables.  Every field participates —
+/// accuracies, buffer accounting, and the modelled latency/energy are all
+/// deterministic functions of the restored state, so "close enough" would
+/// hide a real divergence.
+bool rows_identical(const std::vector<core::SequentialTaskRow>& a,
+                    const std::vector<core::SequentialTaskRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a[i];
+    const auto& y = b[i];
+    if (x.task_index != y.task_index || x.class_id != y.class_id ||
+        x.acc_base != y.acc_base || x.acc_learned != y.acc_learned ||
+        x.acc_current != y.acc_current ||
+        x.latent_memory_bytes != y.latent_memory_bytes ||
+        x.budget_bytes != y.budget_bytes || x.buffer_entries != y.buffer_entries ||
+        x.buffer_evictions != y.buffer_evictions || x.latency_ms != y.latency_ms ||
+        x.energy_uj != y.energy_uj) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool tensor_equal(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::equal(a.values().begin(), a.values().end(), b.values().begin());
+}
+
+bool weights_identical(const snn::SnnNetwork& a, const snn::SnnNetwork& b) {
+  if (!tensor_equal(a.readout().w(), b.readout().w())) return false;
+  for (std::size_t i = 0; i < a.num_hidden(); ++i) {
+    if (!tensor_equal(a.hidden(i).w_ff(), b.hidden(i).w_ff())) return false;
+    if (a.hidden(i).lif().recurrent &&
+        !tensor_equal(a.hidden(i).w_rec(), b.hidden(i).w_rec())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_drill(const metrics::ChipBudget& chip) {
+  std::printf("power-cycle drill (tiny 96-48-24-12 scenario, 2-task stream):\n");
+  const data::SyntheticShdGenerator gen(drill_config().data_params);
+  const data::SequentialTasks tasks =
+      data::build_sequential_tasks(gen, drill_config().split, 2);
+
+  // Reference: the mission is never interrupted.
+  snn::SnnNetwork ref_net = drill_pretrained(tasks);
+  const core::SequentialRunResult ref = core::run_sequential(ref_net, tasks, drill_run());
+
+  // Mission leg 1: identical start, but the power is cut after one task —
+  // the engine force-saves a checkpoint and returns the partial result.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "deployment_report_drill.ckpt").string();
+  snn::SnnNetwork first = drill_pretrained(tasks);
+  core::CheckpointOptions save_opts;
+  save_opts.save_path = path;
+  save_opts.stop_after_units = 1;
+  const core::SequentialRunResult partial =
+      core::run_sequential(first, tasks, drill_run(), save_opts);
+  const std::uintmax_t ckpt_bytes = std::filesystem::file_size(path);
+
+  // Mission leg 2: reboot.  The replacement process starts from *blank*
+  // weights — everything it needs (weights, buffer, rng streams, completed
+  // rows) must come off the checkpoint.
+  snn::SnnNetwork second(drill_config().network);
+  core::CheckpointOptions resume_opts;
+  resume_opts.resume_path = path;
+  const core::SequentialRunResult resumed =
+      core::run_sequential(second, tasks, drill_run(), resume_opts);
+  std::filesystem::remove(path);
+
+  std::printf("  checkpoint: %llu bytes after task 1 -> %.1f%% of shared SRAM, fits=%s\n",
+              static_cast<unsigned long long>(ckpt_bytes),
+              100.0 * static_cast<double>(ckpt_bytes) /
+                  static_cast<double>(chip.shared_sram_bytes),
+              ckpt_bytes <= chip.shared_sram_bytes ? "yes" : "NO");
+
+  bool ok = true;
+  if (partial.rows.size() != 1) {
+    std::printf("  FAIL: interrupted leg ran %zu task(s), expected 1\n", partial.rows.size());
+    ok = false;
+  }
+  if (!rows_identical(resumed.rows, ref.rows)) {
+    std::printf("  FAIL: resumed rows diverge from the uninterrupted run\n");
+    ok = false;
+  }
+  if (resumed.total_latency_ms != ref.total_latency_ms ||
+      resumed.total_energy_uj != ref.total_energy_uj) {
+    std::printf("  FAIL: resumed cost totals diverge from the uninterrupted run\n");
+    ok = false;
+  }
+  if (!weights_identical(second, ref_net)) {
+    std::printf("  FAIL: resumed weights diverge from the uninterrupted run\n");
+    ok = false;
+  }
+  if (ok) {
+    std::printf("  resume is bit-identical: %zu/%zu rows, cost totals and all weights "
+                "match the uninterrupted run\n",
+                resumed.rows.size(), ref.rows.size());
+  }
+  return ok ? 0 : 1;
+}
+
+int run_main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const std::string_view known[] = {"drill"};
+  cfg.validate_keys(known);
+
   const snn::SnnNetwork net{snn::NetworkConfig{}};
   const metrics::ChipBudget chip;  // Loihi-class defaults
 
@@ -66,6 +235,22 @@ int main() {
                 m.latent_fits_sram ? "yes" : "NO");
   }
   std::printf("\nthe ~20%% latent-memory saving is headroom for more replay samples —\n"
-              "or for the next task's buffer in the sequential-stream setting.\n");
-  return 0;
+              "or for the next task's buffer in the sequential-stream setting.\n\n");
+
+  if (!cfg.get_bool("drill", true)) return 0;
+  return run_drill(chip);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.hpp"
 #include "core/replay_stream.hpp"
 #include "core/sharded_engine.hpp"
 #include "util/error.hpp"
@@ -52,11 +53,18 @@ double ClRunResult::total_energy_uj() const noexcept {
 ClRunResult run_continual_learning(snn::SnnNetwork& net,
                                    const data::ClassIncrementalTasks& tasks,
                                    const ClRunConfig& config) {
+  return run_continual_learning(net, tasks, config, CheckpointOptions{});
+}
+
+ClRunResult run_continual_learning(snn::SnnNetwork& net,
+                                   const data::ClassIncrementalTasks& tasks,
+                                   const ClRunConfig& config, const CheckpointOptions& ckpt) {
   const NclMethodConfig& method = config.method;
   R4NCL_CHECK(config.insertion_layer <= net.num_hidden(),
               "insertion layer " << config.insertion_layer << " out of range");
   R4NCL_CHECK(config.epochs > 0, "need at least one epoch");
   R4NCL_CHECK(config.eval_every > 0, "eval_every must be positive");
+  R4NCL_CHECK(ckpt.every >= 1, "checkpoint_every must be >= 1");
 
   Stopwatch total_watch;
   const metrics::EnergyModel energy_model(config.energy_params);
@@ -83,7 +91,31 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
                              method.replay_sharding);
   const bool importance_feedback = method.use_replay && method.importance_feedback &&
                                    is_importance_policy(method.replay_budget.policy);
-  if (method.use_replay) {
+  const CheckpointMeta meta = make_checkpoint_meta(
+      CheckpointKind::kContinual, method, config.insertion_layer, config.seed, config.epochs);
+  snn::AdamOptimizer optimizer;
+  Rng epoch_rng(config.seed);
+  Rng replay_rng(config.seed ^ kReplayDrawSeedSalt);
+  std::size_t first_epoch = 0;
+  double prior_wall_seconds = 0.0;
+  if (ckpt.resuming()) {
+    // A resumed run replaces the preparation phase: the restored engine
+    // already holds the prepared latents, prep costs live in the restored
+    // result fields, and the run-long optimizer + rng streams continue
+    // exactly where the killed run left them.
+    Checkpoint loaded = load_checkpoint(ckpt.resume_path, meta, net, &optimizer, buffer);
+    result.rows = std::move(loaded.cl_rows);
+    result.prep_stats = loaded.prep_stats;
+    result.prep_latency_ms = loaded.prep_latency_ms;
+    result.prep_energy_uj = loaded.prep_energy_uj;
+    result.latent_memory_bytes = static_cast<std::size_t>(loaded.latent_memory_bytes);
+    result.final_acc_old = loaded.final_acc_old;
+    result.final_acc_new = loaded.final_acc_new;
+    prior_wall_seconds = loaded.total_wall_seconds;
+    epoch_rng.restore(loaded.unit_rng);
+    replay_rng.restore(loaded.replay_rng);
+    first_epoch = static_cast<std::size_t>(loaded.meta.next_unit);
+  } else if (method.use_replay) {
     const data::Dataset replay_rescaled =
         data::time_rescale(tasks.replay_subset, method.cl_timesteps, method.rescale);
     const data::Dataset latents =
@@ -92,8 +124,10 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
     for (const auto& s : latents) buffer.add(s.raster, s.label);
     result.latent_memory_bytes = buffer.memory_bytes();
   }
-  result.prep_latency_ms = latency_model.latency_ms(result.prep_stats);
-  result.prep_energy_uj = energy_model.energy_uj(result.prep_stats);
+  if (!ckpt.resuming()) {
+    result.prep_latency_ms = latency_model.latency_ms(result.prep_stats);
+    result.prep_energy_uj = energy_model.energy_uj(result.prep_stats);
+  }
 
   // New-task training data in the method's time base.
   const data::Dataset new_train_rescaled =
@@ -107,11 +141,9 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
   eval_settings.policy = policy;
 
   // ---- Phase 2: NCL training (Alg. 1 lines 21–33) ------------------------
-  snn::AdamOptimizer optimizer;
-  Rng epoch_rng(config.seed);
-  Rng replay_rng(config.seed ^ kReplayDrawSeedSalt);
   result.rows.reserve(config.epochs);
-  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+  std::size_t completed_here = 0;
+  for (std::size_t epoch = first_epoch; epoch < config.epochs; ++epoch) {
     Stopwatch epoch_watch;
     ClEpochRow row;
     row.epoch = epoch;
@@ -195,8 +227,36 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
                              << " new=" << row.acc_new << " (" << row.wall_seconds << "s)");
     }
     result.rows.push_back(std::move(row));
+
+    // Epoch boundary: snapshot and/or power down (see run_sequential; units
+    // here are epochs, and the run-long Adam moments ride along).
+    ++completed_here;
+    const std::size_t done = epoch + 1;
+    const bool finished = done == config.epochs;
+    const bool stopping =
+        ckpt.stop_after_units > 0 && completed_here >= ckpt.stop_after_units && !finished;
+    if (ckpt.saving() && (finished || stopping || done % ckpt.every == 0)) {
+      Checkpoint ck;
+      ck.meta = meta;
+      ck.meta.next_unit = done;
+      ck.unit_rng = epoch_rng.state();
+      ck.replay_rng = replay_rng.state();
+      ck.cl_rows = result.rows;
+      ck.prep_stats = result.prep_stats;
+      ck.prep_latency_ms = result.prep_latency_ms;
+      ck.prep_energy_uj = result.prep_energy_uj;
+      ck.latent_memory_bytes = result.latent_memory_bytes;
+      ck.final_acc_old = result.final_acc_old;
+      ck.final_acc_new = result.final_acc_new;
+      ck.total_wall_seconds = prior_wall_seconds + total_watch.elapsed_seconds();
+      save_checkpoint(ckpt.save_path, ck, net, &optimizer, buffer);
+    }
+    if (stopping) {
+      result.total_wall_seconds = prior_wall_seconds + total_watch.elapsed_seconds();
+      return result;
+    }
   }
-  result.total_wall_seconds = total_watch.elapsed_seconds();
+  result.total_wall_seconds = prior_wall_seconds + total_watch.elapsed_seconds();
   return result;
 }
 

@@ -113,11 +113,25 @@ void apply_replay_overrides(NclMethodConfig& method, const Config& cfg) {
   }
 }
 
+CheckpointOptions checkpoint_options_from(const Config& cfg) {
+  CheckpointOptions options;
+  options.save_path = cfg.get_string("checkpoint", "");
+  options.resume_path = cfg.get_string("resume", "");
+  const long long every = cfg.get_int("checkpoint_every", 1);
+  R4NCL_CHECK(every >= 1,
+              "checkpoint_every=" << every << " must be a positive unit count");
+  R4NCL_CHECK(every == 1 || options.saving(),
+              "checkpoint_every=" << every << " requires checkpoint=<path>");
+  options.every = static_cast<std::size_t>(every);
+  return options;
+}
+
 std::vector<std::string_view> standard_cli_keys() {
   return {"budget",          "budget_schedule",     "cache",
-          "cache_dir",       "epochs",              "importance_feedback",
-          "latent_bits",     "policy",              "pretrain_epochs",
-          "replay_samples",  "replay_seed",         "replay_stream",
+          "cache_dir",       "checkpoint",          "checkpoint_every",
+          "epochs",          "importance_feedback", "latent_bits",
+          "policy",          "pretrain_epochs",     "replay_samples",
+          "replay_seed",     "replay_stream",       "resume",
           "scale",           "shard_by",            "shards",
           "threads",         "verbose"};
 }

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/continual_trainer.hpp"
 #include "core/pretrain.hpp"
 #include "util/config.hpp"
@@ -64,6 +65,14 @@ NclMethodConfig bench_spiking_lr();
 /// message naming the valid set — negative bytes/counts/seeds, policy
 /// typos and malformed schedules all throw before any training runs.
 void apply_replay_overrides(NclMethodConfig& method, const Config& cfg);
+
+/// Reads the checkpoint/resume CLI knobs:
+///   checkpoint=<path>        write a checkpoint at every cadence boundary
+///   resume=<path>            restore a prior checkpoint before any unit runs
+///   checkpoint_every=<n>     save cadence in completed tasks/epochs (>= 1)
+/// Validation is eager with pinned errors: checkpoint_every below 1 and a
+/// cadence given without checkpoint= both throw before any training runs.
+[[nodiscard]] CheckpointOptions checkpoint_options_from(const Config& cfg);
 
 /// The CLI vocabulary every standard bench/example understands: the scenario
 /// knobs read by pretrain_config_from()/standard_scenario() (scale,

@@ -486,4 +486,143 @@ data::Dataset LatentReplayBuffer::sample(std::size_t k, Rng& rng,
   return out;
 }
 
+namespace {
+constexpr std::uint32_t kBufferTag = make_tag("LRBF");
+constexpr std::uint32_t kEntryTag = make_tag("ENTR");
+}  // namespace
+
+void LatentReplayBuffer::save(BinaryWriter& out) const {
+  out.write_tag(kBufferTag);
+  out.write_u32(static_cast<std::uint32_t>(budget_.policy));
+  out.write_u64(budget_.capacity_bytes);
+  out.write_u64(activation_timesteps_);
+  out.write_u64(channels_);
+  out.write_u64(memory_bytes_);
+  out.write_u64(stream_seen_);
+  out.write_u64(evictions_);
+  const Rng::State rng = rng_.state();
+  out.write_u64(rng.state);
+  out.write_u32(rng.have_spare_normal ? 1u : 0u);
+  out.write_f64(rng.spare_normal);
+  const std::size_t n = size();
+  out.write_u64(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Entry& e = entry_at(i);
+    out.write_tag(kEntryTag);
+    out.write_u32(e.packed.timesteps);
+    out.write_u32(e.packed.channels);
+    out.write_u32(e.packed.bits_per_element);
+    out.write_u8_vector(e.packed.payload);
+    out.write_u32(static_cast<std::uint32_t>(e.label));
+    out.write_f32(e.density);
+    out.write_f32(e.outcome);
+    out.write_u32(e.outcome_valid ? 1u : 0u);
+  }
+}
+
+void LatentReplayBuffer::load(BinaryReader& in) {
+  in.expect_tag(kBufferTag);
+  const std::uint32_t stored_policy = in.read_u32();
+  R4NCL_CHECK(stored_policy == static_cast<std::uint32_t>(budget_.policy),
+              "replay policy mismatch: checkpoint was saved with policy "
+                  << stored_policy << ", this buffer runs "
+                  << to_string(budget_.policy));
+  const std::uint64_t capacity = in.read_u64();
+  const std::uint64_t timesteps = in.read_u64();
+  R4NCL_CHECK(timesteps == activation_timesteps_,
+              "activation-timesteps mismatch: checkpoint has " << timesteps
+                                                               << ", this buffer expects "
+                                                               << activation_timesteps_);
+  const std::uint64_t channels = in.read_u64();
+  const std::uint64_t memory_bytes = in.read_u64();
+  const std::uint64_t stream_seen = in.read_u64();
+  const std::uint64_t evictions = in.read_u64();
+  Rng::State rng;
+  rng.state = in.read_u64();
+  const std::uint32_t have_spare = in.read_u32();
+  R4NCL_CHECK(have_spare <= 1, "corrupt rng snapshot: spare-normal flag is " << have_spare);
+  rng.have_spare_normal = have_spare != 0;
+  rng.spare_normal = in.read_f64();
+  const std::uint64_t n = in.read_u64();
+
+  // Decode into scratch first: a corrupt snapshot must throw without leaving
+  // this buffer half-replaced.
+  std::vector<Entry> entries;
+  entries.reserve(std::min<std::uint64_t>(n, in.remaining() / sizeof(std::uint32_t)));
+  std::uint64_t recomputed_bytes = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    in.expect_tag(kEntryTag);
+    Entry e;
+    e.packed.timesteps = in.read_u32();
+    e.packed.channels = in.read_u32();
+    const std::uint32_t bits = in.read_u32();
+    R4NCL_CHECK(compress::valid_payload_bits(bits),
+                "corrupt entry " << i << ": bits_per_element " << bits << " not in {1,2,4,8}");
+    e.packed.bits_per_element = static_cast<std::uint8_t>(bits);
+    e.packed.payload = in.read_u8_vector();
+    const std::size_t expected_payload = e.packed.timesteps * e.packed.row_bytes();
+    R4NCL_CHECK(e.packed.payload.size() == expected_payload,
+                "corrupt entry " << i << ": payload is " << e.packed.payload.size()
+                                 << " byte(s), geometry " << e.packed.timesteps << "x"
+                                 << e.packed.channels << "@" << bits << "b needs "
+                                 << expected_payload);
+    e.label = static_cast<std::int32_t>(in.read_u32());
+    e.density = in.read_f32();
+    e.outcome = in.read_f32();
+    const std::uint32_t outcome_valid = in.read_u32();
+    R4NCL_CHECK(outcome_valid <= 1,
+                "corrupt entry " << i << ": outcome flag is " << outcome_valid);
+    e.outcome_valid = outcome_valid != 0;
+    R4NCL_CHECK(i == 0 || e.packed.channels == entries.front().packed.channels,
+                "corrupt entry " << i << ": channel width " << e.packed.channels
+                                 << " differs from the buffer's "
+                                 << entries.front().packed.channels);
+    recomputed_bytes += entry_bytes(e);
+    entries.push_back(std::move(e));
+  }
+  R4NCL_CHECK(entries.empty() || channels == entries.front().packed.channels,
+              "corrupt buffer snapshot: header claims " << channels
+                                                        << " channel(s), entries carry "
+                                                        << entries.front().packed.channels);
+  R4NCL_CHECK(recomputed_bytes == memory_bytes,
+              "corrupt buffer snapshot: entries total " << recomputed_bytes
+                                                        << " byte(s), header claims "
+                                                        << memory_bytes);
+  R4NCL_CHECK(capacity == 0 || memory_bytes <= capacity,
+              "corrupt buffer snapshot: " << memory_bytes << " byte(s) stored exceeds the "
+                                          << capacity << "-byte capacity");
+
+  // Commit: rebuild compacted (dense slots, identity order).  Logical order
+  // is all any observable behaviour reads, so a compacted rebuild is
+  // indistinguishable from the saved ring layout.
+  budget_.capacity_bytes = static_cast<std::size_t>(capacity);
+  channels_ = static_cast<std::size_t>(channels);
+  memory_bytes_ = static_cast<std::size_t>(memory_bytes);
+  stream_seen_ = static_cast<std::size_t>(stream_seen);
+  evictions_ = static_cast<std::size_t>(evictions);
+  rng_.restore(rng);
+  slots_ = std::move(entries);
+  free_slots_.clear();
+  order_.resize(slots_.size());
+  head_ = 0;
+  class_counts_.clear();
+  class_queues_.clear();
+  order_pos_.assign(uses_class_queues_ ? slots_.size() : 0, 0);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    order_[i] = static_cast<std::uint32_t>(i);
+    const std::int32_t label = slots_[i].label;
+    auto it = std::lower_bound(class_counts_.begin(), class_counts_.end(), label,
+                               [](const auto& p, std::int32_t l) { return p.first < l; });
+    if (it == class_counts_.end() || it->first != label) {
+      class_counts_.insert(it, {label, 1});
+    } else {
+      ++it->second;
+    }
+    if (uses_class_queues_) {
+      order_pos_[i] = static_cast<std::uint32_t>(i);
+      class_queues_[label].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
 }  // namespace r4ncl::core

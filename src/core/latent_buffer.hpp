@@ -51,6 +51,7 @@
 #include "data/spike_data.hpp"
 #include "snn/layer.hpp"
 #include "util/rng.hpp"
+#include "util/serialize.hpp"
 
 namespace r4ncl::core {
 
@@ -313,6 +314,22 @@ class LatentReplayBuffer : public ReplayEntrySource {
 
   /// Stored bits per payload element (0 = legacy binary storage).
   [[nodiscard]] std::uint8_t latent_bits() const noexcept { return codec_.latent_bits; }
+
+  /// Serializes the complete buffer state: capacity, eviction-rng snapshot,
+  /// stream/eviction counters, and every live entry in logical order with its
+  /// quantized payload byte-copied as-is (no decode).  Together with the
+  /// restored rng this makes a loaded buffer behave bit-identically to the
+  /// saved one for every subsequent add/evict/sample.
+  void save(BinaryWriter& out) const;
+
+  /// Replaces this buffer's contents with a saved snapshot.  The buffer must
+  /// be constructed with the run's codec/timesteps/policy (the checkpoint
+  /// verifies policy and timesteps with pinned mismatch errors); entries are
+  /// rebuilt compacted (dense slots, identity order) — logical order, and
+  /// therefore all observable behaviour, is preserved.  Every geometry and
+  /// byte-accounting field is validated before use, so a corrupt snapshot
+  /// throws r4ncl::Error instead of mis-indexing.
+  void load(BinaryReader& in);
 
   /// Per-sample header bytes: raster geometry (2×u32) + label (i32) +
   /// buffer-entry bookkeeping (u32) = 16; codec entries (time-grouped and/or

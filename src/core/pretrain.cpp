@@ -83,10 +83,18 @@ PretrainedScenario make_pretrained_scenario(const PretrainConfig& config,
   const std::string cache_path = path_os.str();
 
   if (use_cache && std::filesystem::exists(cache_path)) {
-    scenario.net.load(cache_path);
-    scenario.loaded_from_cache = true;
-    R4NCL_INFO("loaded pre-trained checkpoint: " << cache_path);
-  } else {
+    // A stale cache from an older checkpoint format (or a torn write) must
+    // not brick every bench that shares the cache dir — fall through to
+    // retraining, which overwrites the bad file.
+    try {
+      scenario.net.load(cache_path);
+      scenario.loaded_from_cache = true;
+      R4NCL_INFO("loaded pre-trained checkpoint: " << cache_path);
+    } catch (const Error& e) {
+      R4NCL_WARN("ignoring unreadable pre-train cache " << cache_path << ": " << e.what());
+    }
+  }
+  if (!scenario.loaded_from_cache) {
     R4NCL_INFO("pre-training on " << scenario.tasks.pretrain_train.size() << " samples ("
                                   << scenario.tasks.old_classes.size() << " classes, "
                                   << config.epochs << " epochs)...");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.hpp"
 #include "core/replay_stream.hpp"
 #include "core/sharded_engine.hpp"
 #include "util/error.hpp"
@@ -44,10 +45,17 @@ double accuracy_at(const snn::SnnNetwork& net, const data::Dataset& test,
 
 SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialTasks& tasks,
                                    const SequentialRunConfig& config) {
+  return run_sequential(net, tasks, config, CheckpointOptions{});
+}
+
+SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialTasks& tasks,
+                                   const SequentialRunConfig& config,
+                                   const CheckpointOptions& ckpt) {
   const NclMethodConfig& method = config.method;
   R4NCL_CHECK(!tasks.task_classes.empty(), "no tasks to learn");
   R4NCL_CHECK(config.insertion_layer <= net.num_hidden(), "insertion layer out of range");
   R4NCL_CHECK(config.epochs_per_task > 0, "need at least one epoch per task");
+  R4NCL_CHECK(ckpt.every >= 1, "checkpoint_every must be >= 1");
 
   const metrics::EnergyModel energy_model(config.energy_params);
   const metrics::LatencyModel latency_model(config.latency_params);
@@ -71,23 +79,41 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
   // unsharded runs reproduce the pre-engine results byte for byte.
   ShardedReplayEngine buffer(method.storage_codec, method.cl_timesteps, run_budget,
                              method.replay_sharding);
-  snn::SpikeOpStats prep_stats;
-  {
+  const CheckpointMeta meta =
+      make_checkpoint_meta(CheckpointKind::kSequential, method, config.insertion_layer,
+                           config.seed, tasks.task_classes.size());
+  Rng seed_rng(config.seed);
+  Rng replay_rng(config.seed ^ kReplayDrawSeedSalt);
+  std::size_t first_task = 0;
+  if (ckpt.resuming()) {
+    // A resumed run replaces the seeding phase entirely: the restored engine
+    // already holds the seeded (and since-evolved) latents, the restored
+    // totals already include the prep charge, and the restored rng streams
+    // put every subsequent draw exactly where the killed run left it.
+    const Checkpoint loaded =
+        load_checkpoint(ckpt.resume_path, meta, net, nullptr, buffer);
+    result.rows = loaded.seq_rows;
+    result.total_latency_ms = loaded.seq_total_latency_ms;
+    result.total_energy_uj = loaded.seq_total_energy_uj;
+    seed_rng.restore(loaded.unit_rng);
+    replay_rng.restore(loaded.replay_rng);
+    first_task = static_cast<std::size_t>(loaded.meta.next_unit);
+  } else {
+    snn::SpikeOpStats prep_stats;
     const data::Dataset rescaled =
         data::time_rescale(tasks.replay_subset, method.cl_timesteps, method.rescale);
     for (const auto& s : to_latents(net, rescaled, config.insertion_layer, policy,
                                     method.batch_size, &prep_stats)) {
       buffer.add(s.raster, s.label);
     }
+    result.total_latency_ms += latency_model.latency_ms(prep_stats);
+    result.total_energy_uj += energy_model.energy_uj(prep_stats);
   }
-  result.total_latency_ms += latency_model.latency_ms(prep_stats);
-  result.total_energy_uj += energy_model.energy_uj(prep_stats);
 
   const bool importance_feedback =
       method.importance_feedback && is_importance_policy(method.replay_budget.policy);
-  Rng seed_rng(config.seed);
-  Rng replay_rng(config.seed ^ kReplayDrawSeedSalt);
-  for (std::size_t task = 0; task < tasks.task_classes.size(); ++task) {
+  std::size_t completed_here = 0;
+  for (std::size_t task = first_task; task < tasks.task_classes.size(); ++task) {
     SequentialTaskRow row;
     row.task_index = task;
     row.class_id = tasks.task_classes[task];
@@ -194,6 +220,28 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
                              << " mem=" << row.latent_memory_bytes << "B");
     }
     result.rows.push_back(row);
+
+    // Task boundary: snapshot and/or power down.  stop_after_units is the
+    // kill/resume drill — force a save and return the partial result so a
+    // fresh process can resume= from here and finish bit-identically.
+    ++completed_here;
+    const std::size_t done = task + 1;
+    const bool finished = done == tasks.task_classes.size();
+    const bool stopping =
+        ckpt.stop_after_units > 0 && completed_here >= ckpt.stop_after_units && !finished;
+    if (ckpt.saving() && (finished || stopping || done % ckpt.every == 0)) {
+      Checkpoint ck;
+      ck.meta = meta;
+      ck.meta.next_unit = done;
+      ck.unit_rng = seed_rng.state();
+      ck.replay_rng = replay_rng.state();
+      ck.seq_rows = result.rows;
+      ck.seq_total_latency_ms = result.total_latency_ms;
+      ck.seq_total_energy_uj = result.total_energy_uj;
+      // Per-task Adam state dies at the boundary anyway, so nothing to save.
+      save_checkpoint(ckpt.save_path, ck, net, nullptr, buffer);
+    }
+    if (stopping) return result;
   }
   return result;
 }

@@ -254,4 +254,38 @@ ReplayStream ShardedReplayEngine::stream(std::size_t k, Rng& rng, std::size_t mi
   return ReplayStream(*this, draw_indices(k, rng), minibatch, stats);
 }
 
+namespace {
+constexpr std::uint32_t kEngineTag = make_tag("SRLE");
+}  // namespace
+
+void ShardedReplayEngine::save(BinaryWriter& out) const {
+  out.write_tag(kEngineTag);
+  out.write_u64(shards_.size());
+  out.write_u32(static_cast<std::uint32_t>(sharding_.shard_by));
+  out.write_u64(capacity_bytes_);
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->buffer.save(out);
+  }
+}
+
+void ShardedReplayEngine::load(BinaryReader& in) {
+  in.expect_tag(kEngineTag);
+  const std::uint64_t shards = in.read_u64();
+  R4NCL_CHECK(shards == shards_.size(),
+              "shard-count mismatch: checkpoint has " << shards << " shard(s), this engine "
+                                                      << shards_.size());
+  const std::uint32_t shard_by = in.read_u32();
+  R4NCL_CHECK(shard_by == static_cast<std::uint32_t>(sharding_.shard_by),
+              "shard-key mismatch: checkpoint routes by key " << shard_by
+                                                              << ", this engine by "
+                                                              << to_string(sharding_.shard_by));
+  const std::uint64_t capacity = in.read_u64();
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->buffer.load(in);
+  }
+  capacity_bytes_ = static_cast<std::size_t>(capacity);
+}
+
 }  // namespace r4ncl::core

@@ -166,6 +166,14 @@ class ShardedReplayEngine : public ReplayEntrySource {
   [[nodiscard]] ReplayStream stream(std::size_t k, Rng& rng, std::size_t minibatch = 16,
                                     snn::SpikeOpStats* stats = nullptr) const;
 
+  /// Serializes the engine: shard count, routing key, total capacity, then
+  /// every shard's buffer snapshot in shard order (each under its lock).
+  void save(BinaryWriter& out) const;
+  /// Restores a snapshot into this engine.  Shard count and routing key must
+  /// match the constructed configuration (pinned mismatch errors) — the
+  /// checkpoint does not re-shape a live engine.
+  void load(BinaryReader& in);
+
  private:
   struct Shard {
     LatentReplayBuffer buffer;

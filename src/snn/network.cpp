@@ -7,6 +7,21 @@ namespace r4ncl::snn {
 
 namespace {
 constexpr std::uint32_t kNetTag = make_tag("SNET");
+constexpr std::uint32_t kArchTag = make_tag("ARCH");
+
+/// "700-200-100-50/20 classes" — the spec string used in architecture
+/// mismatch diagnostics.
+std::string arch_spec(const std::vector<std::uint64_t>& sizes, std::uint64_t classes) {
+  std::string s;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (i > 0) s += '-';
+    s += std::to_string(sizes[i]);
+  }
+  s += '/';
+  s += std::to_string(classes);
+  s += " classes";
+  return s;
+}
 
 LeakyReadout make_readout(const NetworkConfig& config, Rng& rng) {
   R4NCL_CHECK(config.layer_sizes.size() >= 2,
@@ -109,29 +124,61 @@ StepResult SnnNetwork::train_step(const Tensor& x, std::span<const std::int32_t>
     }
   }
 
-  // Parameter updates.
-  optimizer.step(readout_.w(), readout_.grad_w(), lr);
+  // Parameter updates, keyed by stable parameter path (absolute layer index)
+  // so Adam moments captured in a checkpoint reattach on warm resume.
+  optimizer.step("readout.w", readout_.w(), readout_.grad_w(), lr);
   for (std::size_t k = 0; k < trained; ++k) {
     RecurrentLifLayer& layer = hidden_[from + k];
-    optimizer.step(layer.w_ff(), layer.grad_w_ff(), lr);
-    if (layer.lif().recurrent) optimizer.step(layer.w_rec(), layer.grad_w_rec(), lr);
+    const std::string prefix = "hidden" + std::to_string(from + k);
+    optimizer.step(prefix + ".w_ff", layer.w_ff(), layer.grad_w_ff(), lr);
+    if (layer.lif().recurrent) {
+      optimizer.step(prefix + ".w_rec", layer.w_rec(), layer.grad_w_rec(), lr);
+    }
   }
   return result;
 }
 
 void SnnNetwork::save(const std::string& path) const {
   BinaryWriter out(path);
-  out.write_tag(kNetTag);
-  out.write_u64(hidden_.size());
-  for (const auto& layer : hidden_) layer.save(out);
-  readout_.save(out);
+  save(out);
   out.close();
 }
 
 void SnnNetwork::load(const std::string& path) {
   BinaryReader in(path);
+  load(in);
+}
+
+void SnnNetwork::save(BinaryWriter& out) const {
+  out.write_tag(kNetTag);
+  out.write_tag(kArchTag);
+  out.write_u64(config_.layer_sizes.size());
+  for (const std::size_t s : config_.layer_sizes) out.write_u64(s);
+  out.write_u64(config_.num_classes);
+  out.write_u64(hidden_.size());
+  for (const auto& layer : hidden_) layer.save(out);
+  readout_.save(out);
+}
+
+void SnnNetwork::load(BinaryReader& in) {
   in.expect_tag(kNetTag);
-  const std::size_t n = in.read_u64();
+  in.expect_tag(kArchTag);
+  const std::uint64_t rank = in.read_u64();
+  // Bound the loop by the remaining file size so a corrupt rank cannot spin
+  // through billions of read_u64 calls before the short-read check fires.
+  R4NCL_CHECK(rank <= in.remaining() / sizeof(std::uint64_t),
+              "corrupt architecture section: " << rank << " layer sizes exceed the file");
+  std::vector<std::uint64_t> stored_sizes(rank);
+  for (auto& s : stored_sizes) s = in.read_u64();
+  const std::uint64_t stored_classes = in.read_u64();
+
+  std::vector<std::uint64_t> own_sizes(config_.layer_sizes.begin(), config_.layer_sizes.end());
+  R4NCL_CHECK(stored_sizes == own_sizes && stored_classes == config_.num_classes,
+              "architecture mismatch: checkpoint is "
+                  << arch_spec(stored_sizes, stored_classes) << ", this network is "
+                  << arch_spec(own_sizes, config_.num_classes));
+
+  const std::uint64_t n = in.read_u64();
   R4NCL_CHECK(n == hidden_.size(), "checkpoint has " << n << " hidden layers, expected "
                                                      << hidden_.size());
   for (auto& layer : hidden_) layer.load(in);

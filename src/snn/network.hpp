@@ -88,6 +88,13 @@ class SnnNetwork {
   /// Loads weights into this network; shapes must match the checkpoint.
   void load(const std::string& path);
 
+  /// Stream forms used when the network is one section of a larger
+  /// checkpoint.  The format carries an architecture header (layer sizes +
+  /// class count); load() verifies it against this network and throws a
+  /// pinned "architecture mismatch" Error before touching any weight.
+  void save(BinaryWriter& out) const;
+  void load(BinaryReader& in);
+
  private:
   NetworkConfig config_;
   std::vector<RecurrentLifLayer> hidden_;

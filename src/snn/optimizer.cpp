@@ -2,19 +2,65 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <vector>
 
 #include "util/error.hpp"
 
 namespace r4ncl::snn {
 
-void AdamOptimizer::step(Tensor& param, const Tensor& grad, float lr) {
+namespace {
+
+constexpr std::uint32_t kAdamTag = make_tag("ADAM");
+constexpr std::uint32_t kSgdTag = make_tag("SGDM");
+
+/// Per-process fallback key for the address-based step() overloads.
+std::string address_key(const Tensor& param) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "addr:%p", static_cast<const void*>(param.raw()));
+  return buf;
+}
+
+std::vector<std::string> sorted_keys_of(const auto& map) {
+  std::vector<std::string> keys;
+  keys.reserve(map.size());
+  for (const auto& [k, _] : map) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void write_tensor_2d(BinaryWriter& out, const Tensor& t) {
+  out.write_u64(t.rows());
+  out.write_u64(t.cols());
+  out.write_f32_vector({t.values().begin(), t.values().end()});
+}
+
+Tensor read_tensor_2d(BinaryReader& in, const char* what) {
+  const std::uint64_t rows = in.read_u64();
+  const std::uint64_t cols = in.read_u64();
+  const std::vector<float> data = in.read_f32_vector();
+  R4NCL_CHECK(data.size() == rows * cols, "corrupt " << what << ": " << rows << "x" << cols
+                                                     << " tensor carries " << data.size()
+                                                     << " value(s)");
+  Tensor t(rows, cols);
+  std::copy(data.begin(), data.end(), t.raw());
+  return t;
+}
+
+}  // namespace
+
+void AdamOptimizer::step(std::string_view key, Tensor& param, const Tensor& grad, float lr) {
   R4NCL_CHECK(param.same_shape(grad), "param/grad shape mismatch");
   if (param.empty()) return;
-  State& st = states_[param.raw()];
+  State& st = states_[std::string(key)];
   if (st.m.empty()) {
     st.m = Tensor(param.rows(), param.cols());
     st.v = Tensor(param.rows(), param.cols());
   }
+  R4NCL_CHECK(st.m.same_shape(param),
+              "optimizer moment shape mismatch for '" << key << "': stored " << st.m.rows() << "x"
+                                                      << st.m.cols() << ", parameter is "
+                                                      << param.rows() << "x" << param.cols());
   ++st.t;
   const float b1 = params_.beta1, b2 = params_.beta2;
   const float bias1 = 1.0f - std::pow(b1, static_cast<float>(st.t));
@@ -36,7 +82,41 @@ void AdamOptimizer::step(Tensor& param, const Tensor& grad, float lr) {
   }
 }
 
-void SgdOptimizer::step(Tensor& param, const Tensor& grad, float lr) {
+void AdamOptimizer::step(Tensor& param, const Tensor& grad, float lr) {
+  step(address_key(param), param, grad, lr);
+}
+
+void AdamOptimizer::save(BinaryWriter& out) const {
+  out.write_tag(kAdamTag);
+  out.write_u64(states_.size());
+  for (const std::string& key : sorted_keys_of(states_)) {
+    const State& st = states_.at(key);
+    out.write_string(key);
+    out.write_i64(st.t);
+    write_tensor_2d(out, st.m);
+    write_tensor_2d(out, st.v);
+  }
+}
+
+void AdamOptimizer::load(BinaryReader& in) {
+  in.expect_tag(kAdamTag);
+  const std::uint64_t n = in.read_u64();
+  std::unordered_map<std::string, State> loaded;
+  loaded.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = in.read_string();
+    State st;
+    st.t = in.read_i64();
+    st.m = read_tensor_2d(in, "Adam first moment");
+    st.v = read_tensor_2d(in, "Adam second moment");
+    R4NCL_CHECK(st.m.same_shape(st.v), "corrupt Adam state for '" << key << "': m/v shapes differ");
+    const bool inserted = loaded.emplace(std::move(key), std::move(st)).second;
+    R4NCL_CHECK(inserted, "corrupt Adam state: duplicate parameter key");
+  }
+  states_ = std::move(loaded);
+}
+
+void SgdOptimizer::step(std::string_view key, Tensor& param, const Tensor& grad, float lr) {
   R4NCL_CHECK(param.same_shape(grad), "param/grad shape mismatch");
   if (param.empty()) return;
   float* p = param.raw();
@@ -46,13 +126,46 @@ void SgdOptimizer::step(Tensor& param, const Tensor& grad, float lr) {
     for (std::size_t i = 0; i < n; ++i) p[i] -= lr * g[i];
     return;
   }
-  Tensor& vel = velocity_[param.raw()];
+  Tensor& vel = velocity_[std::string(key)];
   if (vel.empty()) vel = Tensor(param.rows(), param.cols());
+  R4NCL_CHECK(vel.same_shape(param),
+              "optimizer velocity shape mismatch for '" << key << "': stored " << vel.rows() << "x"
+                                                        << vel.cols() << ", parameter is "
+                                                        << param.rows() << "x" << param.cols());
   float* v = vel.raw();
   for (std::size_t i = 0; i < n; ++i) {
     v[i] = momentum_ * v[i] + g[i];
     p[i] -= lr * v[i];
   }
+}
+
+void SgdOptimizer::step(Tensor& param, const Tensor& grad, float lr) {
+  step(address_key(param), param, grad, lr);
+}
+
+void SgdOptimizer::save(BinaryWriter& out) const {
+  out.write_tag(kSgdTag);
+  out.write_f32(momentum_);
+  out.write_u64(velocity_.size());
+  for (const std::string& key : sorted_keys_of(velocity_)) {
+    out.write_string(key);
+    write_tensor_2d(out, velocity_.at(key));
+  }
+}
+
+void SgdOptimizer::load(BinaryReader& in) {
+  in.expect_tag(kSgdTag);
+  momentum_ = in.read_f32();
+  const std::uint64_t n = in.read_u64();
+  std::unordered_map<std::string, Tensor> loaded;
+  loaded.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = in.read_string();
+    Tensor vel = read_tensor_2d(in, "SGD velocity");
+    const bool inserted = loaded.emplace(std::move(key), std::move(vel)).second;
+    R4NCL_CHECK(inserted, "corrupt SGD state: duplicate parameter key");
+  }
+  velocity_ = std::move(loaded);
 }
 
 }  // namespace r4ncl::snn

@@ -1,16 +1,22 @@
 // First-order optimizers for the SNN parameters.
 //
-// The Adam state is keyed by the parameter tensor's storage address — valid
-// because layer parameter tensors are allocated once at construction and
-// never resized.  The learning rate is passed per step() so the continual-
-// learning phase can use η_cl = η_pre / 100 (paper Sec. III-B) without
-// rebuilding optimizer state.
+// Moment state is keyed by a stable *parameter path* (e.g. "readout.w",
+// "hidden1.w_ff") so it survives a checkpoint/restore cycle: the historical
+// storage-address key died with the process, which made warm resume
+// impossible (a reloaded network allocates at different addresses).  The
+// address-based step() overload remains for callers that never persist
+// (it derives a per-process key from the storage address).  The learning
+// rate is passed per step() so the continual-learning phase can use
+// η_cl = η_pre / 100 (paper Sec. III-B) without rebuilding optimizer state.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "tensor/tensor.hpp"
+#include "util/serialize.hpp"
 
 namespace r4ncl::snn {
 
@@ -23,18 +29,35 @@ struct AdamParams {
   float grad_clip = 5.0f;
 };
 
-/// Adam with per-tensor first/second-moment state.
+/// Adam with per-parameter first/second-moment state.
 class AdamOptimizer {
  public:
   explicit AdamOptimizer(const AdamParams& params = {}) : params_(params) {}
 
-  /// Applies one Adam update to `param` given `grad`.
+  /// Applies one Adam update to `param` given `grad`, with moment state
+  /// keyed by the stable parameter path `key` — the persistable form every
+  /// run-engine call site uses, so checkpointed moments reattach to the
+  /// right tensors on resume.
+  void step(std::string_view key, Tensor& param, const Tensor& grad, float lr);
+
+  /// Address-keyed convenience overload for callers that never persist the
+  /// optimizer (the key is derived from the parameter's storage address, so
+  /// it is NOT stable across processes).
   void step(Tensor& param, const Tensor& grad, float lr);
 
   /// Drops all moment state (used when switching training phases).
   void reset() { states_.clear(); }
 
+  /// Number of parameter tensors with live moment state.
+  [[nodiscard]] std::size_t num_states() const noexcept { return states_.size(); }
+
   [[nodiscard]] const AdamParams& params() const noexcept { return params_; }
+
+  /// Serializes every (key → m, v, t) entry, sorted by key so the bytes are
+  /// deterministic.  load() replaces all state; a later step() with a loaded
+  /// key verifies the stored moment shape against the live parameter.
+  void save(BinaryWriter& out) const;
+  void load(BinaryReader& in);
 
  private:
   struct State {
@@ -43,20 +66,26 @@ class AdamOptimizer {
     std::int64_t t = 0;
   };
   AdamParams params_;
-  std::unordered_map<const float*, State> states_;
+  std::unordered_map<std::string, State> states_;
 };
 
-/// Plain SGD (used by tests and the ablation bench as a control).
+/// Plain SGD (used by tests and the ablation bench as a control).  Keyed and
+/// serialized exactly like AdamOptimizer so either optimizer can back a
+/// checkpointed run.
 class SgdOptimizer {
  public:
   explicit SgdOptimizer(float momentum = 0.0f) : momentum_(momentum) {}
 
+  void step(std::string_view key, Tensor& param, const Tensor& grad, float lr);
   void step(Tensor& param, const Tensor& grad, float lr);
   void reset() { velocity_.clear(); }
 
+  void save(BinaryWriter& out) const;
+  void load(BinaryReader& in);
+
  private:
   float momentum_;
-  std::unordered_map<const float*, Tensor> velocity_;
+  std::unordered_map<std::string, Tensor> velocity_;
 };
 
 }  // namespace r4ncl::snn

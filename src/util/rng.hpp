@@ -54,6 +54,27 @@ class Rng {
   /// [0, 1, ..., n-1] shuffled — the common minibatch-order helper.
   std::vector<std::size_t> permutation(std::size_t n);
 
+  /// Complete serializable snapshot of a generator.  The Box–Muller spare
+  /// normal is part of the stream: dropping it on a checkpoint/restore cycle
+  /// would shift every subsequent normal() draw by one, so both the flag and
+  /// the cached value must round-trip for resumed runs to stay bit-identical.
+  struct State {
+    std::uint64_t state = 0;
+    bool have_spare_normal = false;
+    double spare_normal = 0.0;
+
+    [[nodiscard]] bool operator==(const State&) const noexcept = default;
+  };
+
+  [[nodiscard]] State state() const noexcept {
+    return {state_, have_spare_normal_, spare_normal_};
+  }
+  void restore(const State& s) noexcept {
+    state_ = s.state;
+    have_spare_normal_ = s.have_spare_normal;
+    spare_normal_ = s.spare_normal;
+  }
+
  private:
   std::uint64_t state_;
   bool have_spare_normal_ = false;

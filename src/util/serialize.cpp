@@ -1,5 +1,7 @@
 #include "util/serialize.hpp"
 
+#include <cstdio>
+
 namespace r4ncl {
 
 BinaryWriter::BinaryWriter(const std::string& path)
@@ -53,6 +55,31 @@ BinaryWriter::~BinaryWriter() {
 BinaryReader::BinaryReader(const std::string& path)
     : in_(path, std::ios::binary), path_(path) {
   R4NCL_CHECK(in_.good(), "cannot open for reading: " << path);
+  // Cache the file size so length-prefixed reads can reject a corrupt prefix
+  // before allocating (see check_length).
+  in_.seekg(0, std::ios::end);
+  const std::streamoff end = in_.tellg();
+  in_.seekg(0, std::ios::beg);
+  R4NCL_CHECK(end >= 0 && in_.good(), "cannot size: " << path);
+  file_size_ = static_cast<std::uint64_t>(end);
+}
+
+std::uint64_t BinaryReader::remaining() {
+  const std::streamoff pos = in_.tellg();
+  R4NCL_CHECK(pos >= 0, "cannot tell position in: " << path_);
+  const auto upos = static_cast<std::uint64_t>(pos);
+  return upos >= file_size_ ? 0 : file_size_ - upos;
+}
+
+void BinaryReader::check_length(std::uint64_t n, std::size_t elem_size, const char* what) {
+  // Division form: n * elem_size could wrap std::uint64_t for a hostile
+  // prefix (e.g. n = 2^62 floats), silently passing a <= comparison on the
+  // product.  n <= remaining / elem_size cannot.
+  const std::uint64_t rem = remaining();
+  R4NCL_CHECK(n <= rem / elem_size,
+              "corrupt " << what << " length in " << path_ << ": " << n << " element(s) of "
+                         << elem_size << " byte(s) exceeds the " << rem
+                         << " byte(s) remaining");
 }
 
 void BinaryReader::read_raw(void* data, std::size_t bytes) {
@@ -93,6 +120,7 @@ double BinaryReader::read_f64() {
 
 std::string BinaryReader::read_string() {
   const std::uint64_t n = read_u64();
+  check_length(n, 1, "string");
   std::string s(n, '\0');
   if (n > 0) read_raw(s.data(), n);
   return s;
@@ -100,6 +128,7 @@ std::string BinaryReader::read_string() {
 
 std::vector<float> BinaryReader::read_f32_vector() {
   const std::uint64_t n = read_u64();
+  check_length(n, sizeof(float), "f32 vector");
   std::vector<float> v(n);
   if (n > 0) read_raw(v.data(), n * sizeof(float));
   return v;
@@ -107,6 +136,7 @@ std::vector<float> BinaryReader::read_f32_vector() {
 
 std::vector<std::uint8_t> BinaryReader::read_u8_vector() {
   const std::uint64_t n = read_u64();
+  check_length(n, 1, "u8 vector");
   std::vector<std::uint8_t> v(n);
   if (n > 0) read_raw(v.data(), n);
   return v;
@@ -114,8 +144,25 @@ std::vector<std::uint8_t> BinaryReader::read_u8_vector() {
 
 void BinaryReader::expect_tag(std::uint32_t expected) {
   const std::uint32_t got = read_u32();
-  R4NCL_CHECK(got == expected,
-              "tag mismatch in " << path_ << ": expected " << expected << ", got " << got);
+  R4NCL_CHECK(got == expected, "tag mismatch in " << path_ << ": expected "
+                                                  << tag_name(expected) << ", got "
+                                                  << tag_name(got));
+}
+
+std::string tag_name(std::uint32_t tag) {
+  std::string out = "'";
+  for (int shift = 0; shift < 32; shift += 8) {
+    const auto c = static_cast<unsigned char>((tag >> shift) & 0xffu);
+    if (c >= 0x20 && c < 0x7f) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char hex[5];
+      std::snprintf(hex, sizeof hex, "\\x%02X", c);
+      out += hex;
+    }
+  }
+  out.push_back('\'');
+  return out;
 }
 
 }  // namespace r4ncl

@@ -48,7 +48,10 @@ class BinaryWriter {
 };
 
 /// Sequential binary reader mirroring BinaryWriter.  Throws r4ncl::Error on
-/// short reads or tag mismatches.
+/// short reads or tag mismatches.  Length-prefixed reads (strings, vectors)
+/// validate the on-disk length against the bytes actually remaining in the
+/// file *before* allocating, so a corrupt or truncated checkpoint fails with
+/// the pinned Error instead of a multi-GB allocation (OOM / bad_alloc).
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
@@ -62,16 +65,26 @@ class BinaryReader {
   std::vector<float> read_f32_vector();
   std::vector<std::uint8_t> read_u8_vector();
 
-  /// Reads a tag and checks it equals `expected`.
+  /// Reads a tag and checks it equals `expected`.  Mismatches report both
+  /// tags by their four-char names ("expected 'SNET', got 'LRBF'"), not raw
+  /// decimal u32s, so format-drift failures are readable.
   void expect_tag(std::uint32_t expected);
+
+  /// Bytes between the read cursor and the end of the file.
+  [[nodiscard]] std::uint64_t remaining();
 
   BinaryReader(const BinaryReader&) = delete;
   BinaryReader& operator=(const BinaryReader&) = delete;
 
  private:
   void read_raw(void* data, std::size_t bytes);
+  /// Validates a length prefix of `n` elements of `elem_size` bytes against
+  /// remaining(); the division form also guards the n * elem_size multiply
+  /// from wrapping.  Throws the pinned Error on overrun.
+  void check_length(std::uint64_t n, std::size_t elem_size, const char* what);
   std::ifstream in_;
   std::string path_;
+  std::uint64_t file_size_ = 0;
 };
 
 /// Builds a four-character tag, e.g. make_tag("WGHT").
@@ -79,5 +92,10 @@ constexpr std::uint32_t make_tag(const char (&s)[5]) {
   return static_cast<std::uint32_t>(s[0]) | (static_cast<std::uint32_t>(s[1]) << 8) |
          (static_cast<std::uint32_t>(s[2]) << 16) | (static_cast<std::uint32_t>(s[3]) << 24);
 }
+
+/// Inverse of make_tag() for diagnostics: decodes a tag to its four-char name
+/// quoted ("'SNET'"); non-printable bytes render as \xNN so a bit-flipped tag
+/// still prints safely.
+[[nodiscard]] std::string tag_name(std::uint32_t tag);
 
 }  // namespace r4ncl

@@ -370,11 +370,57 @@ def check_fleet_replay(doc) -> int:
     return checks
 
 
+# ---- BENCH_resume_parity.json ------------------------------------------------
+
+def check_resume_parity(doc) -> int:
+    ctx = "resume_parity"
+    rows = require_envelope(doc, ctx)
+    checks = 0
+
+    parity = [r for r in rows if isinstance(r, dict) and r.get("mode") == "parity"]
+    corruption = {r.get("kind"): r for r in rows
+                  if isinstance(r, dict) and r.get("mode") == "corruption"}
+    if len(parity) < 3:
+        raise GateFailure(f"{ctx}: only {len(parity)} parity rows (need >= 3 tasks)")
+    require_columns(parity, ["task", "full", "resumed", "identical"], f"{ctx}: parity")
+
+    # Self-check: the resumed process printed byte-identical rows, and the
+    # recorded row text actually agrees with the flag.
+    for i, row in enumerate(parity):
+        where = f"{ctx}: parity row {i} (task {row['task']})"
+        if row["identical"] != "1":
+            raise GateFailure(f"{where}: resume diverged from the reference run")
+        if row["full"] != row["resumed"]:
+            raise GateFailure(f"{where}: identical flag set but row text differs")
+        checks += 2
+
+    # Headline: the corruption sweep ran, truncations were all contained on
+    # the pinned error path, and nothing crashed.
+    for kind in ("truncation", "bitflip"):
+        row = corruption.get(kind)
+        if row is None:
+            raise GateFailure(f"{ctx}: missing corruption row for {kind}")
+        where = f"{ctx}: corruption/{kind}"
+        if fnum(row, "trials", where) <= 0:
+            raise GateFailure(f"{where}: no trials recorded")
+        if fnum(row, "crashes", where) != 0:
+            raise GateFailure(f"{where}: {row['crashes']} corrupted load(s) crashed")
+        checks += 2
+    trunc = corruption["truncation"]
+    if fnum(trunc, "clean_passes", ctx) != 0:
+        raise GateFailure(f"{ctx}: a truncated checkpoint loaded cleanly")
+    if fnum(trunc, "pinned_errors", ctx) != fnum(trunc, "trials", ctx):
+        raise GateFailure(f"{ctx}: truncation trials not all on the pinned error path")
+    checks += 2
+    return checks
+
+
 CHECKS = {
     "BENCH_budget_sweep.json": check_budget_sweep,
     "BENCH_replay_stream.json": check_replay_stream,
     "BENCH_baseline.json": check_baseline,
     "BENCH_fleet_replay.json": check_fleet_replay,
+    "BENCH_resume_parity.json": check_resume_parity,
 }
 
 
@@ -412,11 +458,13 @@ def self_test(directory: Path) -> int:
     stream = load(directory / "BENCH_replay_stream.json")
     baseline = load(directory / "BENCH_baseline.json")
     fleet = load(directory / "BENCH_fleet_replay.json")
+    resume = load(directory / "BENCH_resume_parity.json")
     # The pristine copies must pass before corruption means anything.
     check_budget_sweep(copy.deepcopy(sweep))
     check_replay_stream(copy.deepcopy(stream))
     check_baseline(copy.deepcopy(baseline))
     check_fleet_replay(copy.deepcopy(fleet))
+    check_resume_parity(copy.deepcopy(resume))
 
     cases = 0
 
@@ -516,6 +564,40 @@ def self_test(directory: Path) -> int:
     bad["rows"] = [r for r in bad["rows"]
                    if not (r["mode"] == "det" and r["shards"] == "1")]
     expect_failure("fleet bit-identity anchor dropped", check_fleet_replay, bad)
+    cases += 1
+
+    # Resume divergence written *consistently* (flag and text both lie the
+    # same way is impossible: flag=0 trips the flag gate, differing text with
+    # flag=1 trips the text gate) — corrupt each side separately.
+    bad = copy.deepcopy(resume)
+    for row in bad["rows"]:
+        if row["mode"] == "parity":
+            row["identical"] = "0"
+            break
+    expect_failure("resume parity flag", check_resume_parity, bad)
+    cases += 1
+
+    bad = copy.deepcopy(resume)
+    for row in bad["rows"]:
+        if row["mode"] == "parity":
+            row["resumed"] = row["resumed"] + "x"
+            break
+    expect_failure("resume row text divergence", check_resume_parity, bad)
+    cases += 1
+
+    bad = copy.deepcopy(resume)
+    for row in bad["rows"]:
+        if row["mode"] == "corruption":
+            row["crashes"] = "1"
+            break
+    expect_failure("resume corruption crash", check_resume_parity, bad)
+    cases += 1
+
+    bad = copy.deepcopy(resume)
+    for row in bad["rows"]:
+        if row["mode"] == "corruption" and row["kind"] == "truncation":
+            row["clean_passes"] = "1"
+    expect_failure("truncated checkpoint loaded cleanly", check_resume_parity, bad)
     cases += 1
 
     return cases
