@@ -2,6 +2,7 @@
 
 #include "compress/bitpack.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace r4ncl::compress {
 
@@ -38,8 +39,8 @@ AerRaster aer_encode(const data::SpikeRaster& raster) {
   return out;
 }
 
-data::SpikeRaster aer_decode(const AerRaster& aer) {
-  data::SpikeRaster out(aer.timesteps, aer.channels);
+void aer_visit(const AerRaster& aer,
+               const std::function<void(std::size_t t, std::size_t channel)>& visit) {
   std::size_t t = 0;
   std::size_t i = 0;
   std::uint32_t decoded = 0;
@@ -60,10 +61,135 @@ data::SpikeRaster aer_decode(const AerRaster& aer) {
     i += 2;
     t += delta;
     R4NCL_CHECK(t < aer.timesteps && c < aer.channels, "AER event out of bounds");
-    out.bits[t * aer.channels + c] = 1;
+    visit(t, c);
     ++decoded;
   }
   R4NCL_CHECK(decoded == aer.num_events, "AER event count mismatch");
+}
+
+data::SpikeRaster aer_decode(const AerRaster& aer) {
+  data::SpikeRaster out(aer.timesteps, aer.channels);
+  aer_visit(aer, [&out](std::size_t t, std::size_t c) { out.bits[t * out.channels + c] = 1; });
+  return out;
+}
+
+void aer_decode_into(const AerRaster& aer, data::SpikeRaster& out) {
+  out.timesteps = aer.timesteps;
+  out.channels = aer.channels;
+  out.bits.assign(static_cast<std::size_t>(aer.timesteps) * aer.channels, 0);
+  aer_visit(aer, [&out](std::size_t t, std::size_t c) { out.bits[t * out.channels + c] = 1; });
+}
+
+BatchEventList events_from_batch(const Tensor& x) {
+  R4NCL_CHECK(x.rank() == 3, "events_from_batch needs a (T × B × C) cube");
+  BatchEventList out;
+  out.timesteps = x.dim(0);
+  out.batch = x.dim(1);
+  out.channels = x.dim(2);
+  const std::size_t rows = out.timesteps * out.batch;
+  out.offsets.resize(rows + 1);
+  const float* p = x.raw();
+  const std::size_t C = out.channels;
+  // Rows come out t-major and each row's channels ascending, the order the
+  // bit-identity contract requires.  Each (t, b) row is independent, so both
+  // passes parallelise over rows with disjoint writes — the result is
+  // byte-identical at any thread count.
+  // Pass 1: count the active channels of each row (and whether any value
+  // departs from 1.0f), then CSR offsets by exclusive prefix sum.
+  std::vector<std::uint32_t> counts(rows);
+  std::vector<std::uint8_t> non_unit(rows, 0);
+  parallel_for(
+      0, rows,
+      [&](std::size_t r) {
+        const float* row = p + r * C;
+        std::uint32_t n = 0;
+        std::uint32_t nu = 0;
+        // Branch-free so the loop vectorizes (this pass touches every
+        // element of the cube — it must run at memory speed).
+        for (std::size_t c = 0; c < C; ++c) {
+          const float v = row[c];
+          n += v != 0.0f ? 1u : 0u;
+          nu += (v != 0.0f && v != 1.0f) ? 1u : 0u;
+        }
+        counts[r] = n;
+        non_unit[r] = nu != 0 ? 1 : 0;
+      },
+      C);
+  std::uint32_t cursor = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    out.offsets[r] = cursor;
+    cursor += counts[r];
+    if (non_unit[r] != 0) out.unit_values = false;
+  }
+  out.offsets[rows] = cursor;
+  // Pass 2: fill — every row writes its own [offsets[r], offsets[r+1]) range.
+  out.channel.resize(cursor);
+  out.value.resize(cursor);
+  parallel_for(
+      0, rows,
+      [&](std::size_t r) {
+        const float* row = p + r * C;
+        std::uint32_t w = out.offsets[r];
+        // Quad-skip: spike rows are mostly zero, so test four elements per
+        // branch and only fall into the per-element loop on a live quad.
+        std::size_t c = 0;
+        for (; c + 4 <= C; c += 4) {
+          if (row[c] == 0.0f && row[c + 1] == 0.0f && row[c + 2] == 0.0f &&
+              row[c + 3] == 0.0f) {
+            continue;
+          }
+          for (std::size_t q = c; q < c + 4; ++q) {
+            const float v = row[q];
+            if (v == 0.0f) continue;
+            out.channel[w] = static_cast<std::uint32_t>(q);
+            out.value[w] = v;
+            ++w;
+          }
+        }
+        for (; c < C; ++c) {
+          const float v = row[c];
+          if (v == 0.0f) continue;
+          out.channel[w] = static_cast<std::uint32_t>(c);
+          out.value[w] = v;
+          ++w;
+        }
+      },
+      C);
+  return out;
+}
+
+BatchEventList events_from_aer(std::span<const AerRaster> samples) {
+  BatchEventList out;
+  if (samples.empty()) return out;
+  out.timesteps = samples[0].timesteps;
+  out.batch = samples.size();
+  out.channels = samples[0].channels;
+  const std::size_t rows = out.timesteps * out.batch;
+  // Pass 1: events per (t, b) row → CSR offsets by exclusive prefix sum.
+  std::vector<std::uint32_t> counts(rows, 0);
+  for (std::size_t b = 0; b < samples.size(); ++b) {
+    const AerRaster& aer = samples[b];
+    R4NCL_CHECK(aer.timesteps == out.timesteps && aer.channels == out.channels,
+                "AER batch samples must share geometry");
+    aer_visit(aer, [&](std::size_t t, std::size_t) { ++counts[t * out.batch + b]; });
+  }
+  out.offsets.resize(rows + 1);
+  std::uint32_t cursor = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    out.offsets[r] = cursor;
+    cursor += counts[r];
+  }
+  out.offsets[rows] = cursor;
+  out.channel.resize(cursor);
+  out.value.assign(cursor, 1.0f);  // AER events are binary spikes
+  // Pass 2: fill.  aer_visit yields (t, c) sorted ascending, so each row's
+  // channels land ascending too.
+  std::vector<std::uint32_t> fill(out.offsets.begin(), out.offsets.end() - 1);
+  for (std::size_t b = 0; b < samples.size(); ++b) {
+    aer_visit(samples[b], [&](std::size_t t, std::size_t c) {
+      out.channel[fill[t * out.batch + b]++] = static_cast<std::uint32_t>(c);
+    });
+  }
   return out;
 }
 

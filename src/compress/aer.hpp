@@ -9,12 +9,21 @@
 //
 // Encoding: events sorted by (t, channel); timestep stored as a delta from
 // the previous event's timestep (u8 with 255-escape), channel as u16.
+//
+// Beyond storage, this header is also the event-*iteration* surface of the
+// repo: aer_visit() walks an encoded stream without densifying it, and
+// BatchEventList is the batched per-timestep active-channel list the SNN
+// hot path consumes (snn::RecurrentLifLayer's event-driven forward), built
+// either from AER samples or from a dense (T × B × C) float batch.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "data/spike_data.hpp"
+#include "tensor/tensor.hpp"
 
 namespace r4ncl::compress {
 
@@ -35,6 +44,60 @@ AerRaster aer_encode(const data::SpikeRaster& raster);
 
 /// Decodes back to a dense raster; exact inverse of aer_encode.
 data::SpikeRaster aer_decode(const AerRaster& aer);
+
+/// aer_decode() into a caller-owned raster, reusing its allocation when the
+/// geometry already matches — the streaming scratch path (every cell is
+/// rewritten, so stale contents cannot leak through).
+void aer_decode_into(const AerRaster& aer, data::SpikeRaster& out);
+
+/// Walks the encoded event stream in (t, channel) order without densifying
+/// it, invoking visit(t, channel) once per event — the iteration primitive
+/// batch event lists and event-driven consumers are built from.
+void aer_visit(const AerRaster& aer,
+               const std::function<void(std::size_t t, std::size_t channel)>& visit);
+
+/// Batched per-timestep active-channel lists: for every (t, b) row of a
+/// (T × B × C) spike cube, the channels with a non-zero value, ascending —
+/// CSR over rows in t-major order, so one timestep's rows are contiguous.
+///
+/// Values are stored alongside the channels so non-binary activations stay
+/// exact; `unit_values` marks the common all-spikes-are-1.0f case, which
+/// lets consumers use add-only kernels.  Iterating a row's events in stored
+/// (ascending-channel) order reproduces kernels::matmul's zero-skipping
+/// accumulation order exactly, which is what makes the event-driven forward
+/// bit-identical to the dense one.
+struct BatchEventList {
+  std::size_t timesteps = 0;
+  std::size_t batch = 0;
+  std::size_t channels = 0;
+  /// offsets[t * batch + b] .. offsets[t * batch + b + 1) indexes `channel`/
+  /// `value` for row (t, b); size timesteps·batch + 1.
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> channel;
+  std::vector<float> value;
+  bool unit_values = true;
+
+  [[nodiscard]] std::size_t row_begin(std::size_t t, std::size_t b) const noexcept {
+    return offsets[t * batch + b];
+  }
+  [[nodiscard]] std::size_t row_end(std::size_t t, std::size_t b) const noexcept {
+    return offsets[t * batch + b + 1];
+  }
+  /// Events in timestep t across the whole batch (rows are t-major).
+  [[nodiscard]] std::size_t events_in_timestep(std::size_t t) const noexcept {
+    return offsets[(t + 1) * batch] - offsets[t * batch];
+  }
+  [[nodiscard]] std::size_t num_events() const noexcept { return channel.size(); }
+};
+
+/// Builds the event list of a dense (T × B × C) float batch in one scan.
+/// Every cell with a non-zero value becomes an event carrying that value.
+BatchEventList events_from_batch(const Tensor& x);
+
+/// Builds the event list of B AER-encoded samples (sample i = batch row i)
+/// without densifying any of them; all samples must share geometry.  The
+/// result equals events_from_batch() over the decoded dense batch.
+BatchEventList events_from_aer(std::span<const AerRaster> samples);
 
 /// Bytes the AER encoding needs for a raster of the given geometry/density
 /// (without encoding it): events·3 bytes + escape bytes are density-data

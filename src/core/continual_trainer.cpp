@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "core/checkpoint.hpp"
+#include "core/latent_source.hpp"
 #include "core/replay_stream.hpp"
 #include "core/sharded_engine.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -65,6 +67,7 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
   R4NCL_CHECK(config.epochs > 0, "need at least one epoch");
   R4NCL_CHECK(config.eval_every > 0, "eval_every must be positive");
   R4NCL_CHECK(ckpt.every >= 1, "checkpoint_every must be >= 1");
+  if (method.threads > 0) set_num_threads(method.threads);
 
   Stopwatch total_watch;
   const metrics::EnergyModel energy_model(config.energy_params);
@@ -148,11 +151,9 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
     ClEpochRow row;
     row.epoch = epoch;
 
-    // A_new = inference(net_f, TS_cl)  (Alg. 1 line 23, recomputed per epoch)
-    data::Dataset mixed =
-        frozen_inference(net, new_train_rescaled, config.insertion_layer, policy,
-                         method.batch_size, &row.stats);
-    // Train the learning layers on A_new ∪ A_LR (Alg. 1 line 31).
+    // Train the learning layers on A_new ∪ A_LR (Alg. 1 line 31); A_new =
+    // inference(net_f, TS_cl) (line 23, recomputed per epoch) inside each
+    // branch.
     snn::TrainOptions opts;
     opts.epochs = 1;
     opts.batch_size = method.batch_size;
@@ -160,28 +161,38 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
     opts.insertion_layer = config.insertion_layer;
     opts.policy = policy;
     opts.shuffle_seed = epoch_rng();
+    opts.prefetch = method.prefetch ? 1 : 0;
     std::vector<snn::EpochRecord> history;
-    const std::size_t new_count = mixed.size();
     if (method.use_replay && method.replay_stream) {
       // A_LR as a streaming cursor: the same draw from the same Rng as the
       // materialized path below (bit-identical entry sets and training
       // batches), but each drawn raster decodes into a scratch slot only
-      // when the shuffled batch assembly reaches it.
+      // when the shuffled batch assembly reaches it.  A_new streams the same
+      // way: PackedLatentSet stores each latent raster AER- or bit-packed
+      // and decodes on demand, so neither half is ever dense.
+      PackedLatentSet latents(net, new_train_rescaled, config.insertion_layer, policy,
+                              method.batch_size, &row.stats);
+      const std::size_t new_count = latents.size();
       const std::size_t draw = method.replay_samples_per_epoch > 0
                                    ? method.replay_samples_per_epoch
                                    : buffer.size();
       ReplayStream stream =
           buffer.stream(draw, replay_rng, method.batch_size, &row.stats);
       snn::SampleSource source;
-      source.size = mixed.size() + stream.size();
-      source.fetch = [&mixed, &stream](std::size_t i) -> const data::Sample& {
-        return i < mixed.size() ? mixed[i] : stream.fetch(i - mixed.size());
+      source.size = latents.size() + stream.size();
+      source.fetch = [&latents, &stream,
+                      n = latents.size()](std::size_t i) -> const data::Sample& {
+        return i < n ? latents.fetch(i) : stream.fetch(i - n);
       };
       if (importance_feedback) {
         opts.sample_outcome = buffer.outcome_hook(stream.drawn(), new_count);
       }
       history = snn::train_supervised(net, source, optimizer, opts);
     } else {
+      data::Dataset mixed =
+          frozen_inference(net, new_train_rescaled, config.insertion_layer, policy,
+                           method.batch_size, &row.stats);
+      const std::size_t new_count = mixed.size();
       // A_LR from the buffer (decompression charged to this epoch).  When
       // the method caps its per-epoch replay appetite, only the drawn
       // entries are decompressed — the budgeted-stream hot path.

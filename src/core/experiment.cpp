@@ -84,6 +84,14 @@ void apply_replay_overrides(NclMethodConfig& method, const Config& cfg) {
               "latent_bits=" << bits << " (expected 0|1|2|4|8)");
   method.storage_codec.latent_bits = static_cast<std::uint8_t>(bits);
   method.replay_stream = cfg.get_bool("replay_stream", method.replay_stream);
+  method.prefetch = cfg.get_bool("prefetch", method.prefetch);
+  // threads= is applied process-wide by standard_scenario; recording it on
+  // the method too lets the run engines re-assert it (library callers that
+  // never go through standard_scenario get the same knob).
+  const long long threads = cfg.get_int("threads", static_cast<long long>(method.threads));
+  R4NCL_CHECK(threads >= 0, "threads=" << threads
+                                       << " must be a non-negative worker count (0 = default)");
+  method.threads = static_cast<int>(threads);
   // The schedule/seed knobs validate eagerly, at parse time: a typo in a
   // sweep config must fail before any pre-training or task runs, not at the
   // first task boundary (or, for the seed, never visibly at all).
@@ -130,10 +138,10 @@ std::vector<std::string_view> standard_cli_keys() {
   return {"budget",          "budget_schedule",     "cache",
           "cache_dir",       "checkpoint",          "checkpoint_every",
           "epochs",          "importance_feedback", "latent_bits",
-          "policy",          "pretrain_epochs",     "replay_samples",
-          "replay_seed",     "replay_stream",       "resume",
-          "scale",           "shard_by",            "shards",
-          "threads",         "verbose"};
+          "policy",          "prefetch",            "pretrain_epochs",
+          "replay_samples",  "replay_seed",         "replay_stream",
+          "resume",          "scale",               "shard_by",
+          "shards",          "threads",             "verbose"};
 }
 
 void validate_standard_keys(const Config& cfg,

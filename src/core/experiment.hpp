@@ -54,6 +54,12 @@ NclMethodConfig bench_spiking_lr();
 ///                           1/2/4/8 = quantized group counts
 ///   replay_stream=<0|1>     stream the per-epoch draw through a
 ///                           ReplayStream fused into batch assembly
+///   prefetch=<0|1>          decode the next training minibatch on a
+///                           background thread while the current one trains
+///                           (bit-identical either way)
+///   threads=<n>             worker count the run engines assert at run
+///                           start (0 = leave the process setting; also
+///                           applied globally by standard_scenario)
 ///   replay_seed=<n>         the buffer's private eviction-stream seed
 ///   importance_feedback=<0|1>  feed per-sample replay errors back into the
 ///                           importance scores (importance policies only)

@@ -84,6 +84,17 @@ struct NclMethodConfig {
   /// by `shard_by` so concurrent device streams can share one engine.  CLI
   /// knobs: shards=<n>, shard_by=class|hash.
   ShardedEngineConfig replay_sharding{};
+  /// Decode the next training minibatch on a background thread while the
+  /// current one trains (snn::BatchPipeline double buffering).  Batch
+  /// contents are independent of the knob, so runs stay bit-identical; it
+  /// only overlaps replay decompression with the forward/backward pass.
+  /// CLI knob: prefetch=0|1.
+  bool prefetch = false;
+  /// Worker count the run engines apply via set_num_threads() at run start
+  /// (0 = leave the process-wide setting untouched).  The parallel kernels
+  /// use fixed reduction orders, so any value is bit-identical to 1.
+  /// CLI knob: threads=<n> (applied by standard_scenario).
+  int threads = 0;
   std::size_t batch_size = 16;
 
   /// Builds the ThresholdPolicy implied by this method.

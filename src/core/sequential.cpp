@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "core/checkpoint.hpp"
+#include "core/latent_source.hpp"
 #include "core/replay_stream.hpp"
 #include "core/sharded_engine.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace r4ncl::core {
@@ -56,6 +58,7 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
   R4NCL_CHECK(config.insertion_layer <= net.num_hidden(), "insertion layer out of range");
   R4NCL_CHECK(config.epochs_per_task > 0, "need at least one epoch per task");
   R4NCL_CHECK(ckpt.every >= 1, "checkpoint_every must be >= 1");
+  if (method.threads > 0) set_num_threads(method.threads);
 
   const metrics::EnergyModel energy_model(config.energy_params);
   const metrics::LatencyModel latency_model(config.latency_params);
@@ -134,8 +137,6 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
     // CL phase for this task (Alg. 1 lines 21–33 against the current buffer).
     snn::AdamOptimizer optimizer;
     for (std::size_t epoch = 0; epoch < config.epochs_per_task; ++epoch) {
-      data::Dataset mixed = to_latents(net, new_rescaled, config.insertion_layer, policy,
-                                       method.batch_size, &task_stats);
       snn::TrainOptions opts;
       opts.epochs = 1;
       opts.batch_size = method.batch_size;
@@ -143,26 +144,36 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
       opts.insertion_layer = config.insertion_layer;
       opts.policy = policy;
       opts.shuffle_seed = seed_rng();
+      opts.prefetch = method.prefetch ? 1 : 0;
       std::vector<snn::EpochRecord> history;
-      const std::size_t new_count = mixed.size();
       if (method.replay_stream) {
         // Streamed replay: same draw (same Rng stream) and same training
         // batches as the materialized branch, decoded one batch at a time.
+        // New-task latents stream too: PackedLatentSet stores each latent
+        // raster AER- or bit-packed and decodes into a scratch slot on
+        // demand, so epoch assembly never holds either half densely.
+        PackedLatentSet latents(net, new_rescaled, config.insertion_layer, policy,
+                                method.batch_size, &task_stats);
+        const std::size_t new_count = latents.size();
         const std::size_t draw = method.replay_samples_per_epoch > 0
                                      ? method.replay_samples_per_epoch
                                      : buffer.size();
         ReplayStream stream =
             buffer.stream(draw, replay_rng, method.batch_size, &task_stats);
         snn::SampleSource source;
-        source.size = mixed.size() + stream.size();
-        source.fetch = [&mixed, &stream](std::size_t i) -> const data::Sample& {
-          return i < mixed.size() ? mixed[i] : stream.fetch(i - mixed.size());
+        source.size = latents.size() + stream.size();
+        source.fetch = [&latents, &stream,
+                        n = latents.size()](std::size_t i) -> const data::Sample& {
+          return i < n ? latents.fetch(i) : stream.fetch(i - n);
         };
         if (importance_feedback) {
           opts.sample_outcome = buffer.outcome_hook(stream.drawn(), new_count);
         }
         history = snn::train_supervised(net, source, optimizer, opts);
       } else {
+        data::Dataset mixed = to_latents(net, new_rescaled, config.insertion_layer, policy,
+                                         method.batch_size, &task_stats);
+        const std::size_t new_count = mixed.size();
         std::vector<std::size_t> drawn;
         if (importance_feedback) {
           // sample_into() is sample() plus the drawn logical indices, so the

@@ -1,0 +1,155 @@
+#include "snn/batch_pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace r4ncl::snn {
+
+BatchPipeline::BatchPipeline(const SampleSource& source, std::size_t batch_size,
+                             std::size_t prefetch)
+    : source_(source), batch_size_(batch_size), prefetch_(prefetch) {
+  R4NCL_CHECK(batch_size_ > 0, "batch_size must be positive");
+  R4NCL_CHECK(static_cast<bool>(source_.fetch), "SampleSource.fetch must be set");
+  // prefetch batches in flight + the one the consumer holds.
+  slots_.resize(prefetch_ + 1);
+  if (prefetch_ > 0) {
+    producer_ = std::thread([this] { producer_main(); });
+  }
+}
+
+BatchPipeline::~BatchPipeline() {
+  if (producer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_producer_.notify_all();
+    producer_.join();
+  }
+}
+
+void BatchPipeline::begin_epoch(const std::vector<std::size_t>& order) {
+  std::unique_lock<std::mutex> lock(mu_);
+  R4NCL_CHECK(next_consume_ == num_batches_ && held_slot_ == kNoSlot,
+              "begin_epoch before the previous epoch was fully consumed");
+  // The producer is parked in its work-wait here (produce_next_ ==
+  // num_batches_), so mutating shared state under the lock is safe.
+  order_ = order;
+  num_batches_ = (order_.size() + batch_size_ - 1) / batch_size_;
+  next_consume_ = 0;
+  produce_next_ = 0;
+  produced_ = 0;
+  for (Slot& s : slots_) s.ready = false;
+  lock.unlock();
+  cv_producer_.notify_all();
+}
+
+void BatchPipeline::assemble(PreparedBatch& pb, std::size_t batch_index) {
+  const std::size_t lo = batch_index * batch_size_;
+  const std::size_t hi = std::min(order_.size(), lo + batch_size_);
+  pb.lo = lo;
+  pb.count = hi - lo;
+  pb.labels.clear();
+  for (std::size_t b = 0; b < pb.count; ++b) {
+    const data::Sample& s = source_.fetch(order_[lo + b]);
+    if (b == 0) {
+      data::ensure_batch_shape(pb.batch, s.raster.timesteps, pb.count, s.raster.channels);
+    } else {
+      R4NCL_CHECK(s.raster.timesteps == pb.batch.dim(0) && s.raster.channels == pb.batch.dim(2),
+                  "raster shape mismatch inside batch");
+    }
+    data::fill_batch_column(pb.batch, b, s.raster);
+    pb.labels.push_back(s.label);
+  }
+}
+
+void BatchPipeline::producer_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_producer_.wait(lock, [&] { return shutdown_ || produce_next_ < num_batches_; });
+    if (shutdown_) return;
+    const std::size_t idx = produce_next_;
+    Slot& slot = slots_[idx % slots_.size()];
+    cv_producer_.wait(lock, [&] { return shutdown_ || !slot.ready; });
+    if (shutdown_) return;
+    // Decode outside the lock: a non-ready slot is producer-exclusive, and
+    // order_/source_ are stable for the whole epoch.
+    lock.unlock();
+    double seconds = 0.0;
+    std::exception_ptr err;
+    try {
+      Stopwatch watch;
+      assemble(slot.pb, idx);
+      seconds = watch.elapsed_seconds();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err != nullptr) {
+      error_ = err;
+      produce_next_ = num_batches_;  // abandon the epoch
+      cv_consumer_.notify_all();
+      continue;
+    }
+    assemble_seconds_ += seconds;
+    slot.ready = true;
+    produced_ = idx + 1;
+    produce_next_ = idx + 1;
+    cv_consumer_.notify_all();
+  }
+}
+
+const PreparedBatch* BatchPipeline::next_batch() {
+  if (prefetch_ == 0) {
+    if (next_consume_ == num_batches_) return nullptr;
+    // Synchronous path: the whole assembly is train-loop stall by definition.
+    Stopwatch watch;
+    assemble(slots_[0].pb, next_consume_);
+    const double seconds = watch.elapsed_seconds();
+    assemble_seconds_ += seconds;
+    stall_seconds_ += seconds;
+    ++next_consume_;
+    return &slots_[0].pb;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (held_slot_ != kNoSlot) {
+    slots_[held_slot_].ready = false;
+    held_slot_ = kNoSlot;
+    cv_producer_.notify_all();
+  }
+  if (error_ != nullptr) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    next_consume_ = num_batches_;
+    std::rethrow_exception(err);
+  }
+  if (next_consume_ == num_batches_) return nullptr;
+  const std::size_t slot_idx = next_consume_ % slots_.size();
+  Stopwatch watch;
+  cv_consumer_.wait(lock, [&] { return slots_[slot_idx].ready || error_ != nullptr; });
+  stall_seconds_ += watch.elapsed_seconds();
+  if (error_ != nullptr) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    next_consume_ = num_batches_;
+    std::rethrow_exception(err);
+  }
+  held_slot_ = slot_idx;
+  ++next_consume_;
+  return &slots_[slot_idx].pb;
+}
+
+double BatchPipeline::stall_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stall_seconds_;
+}
+
+double BatchPipeline::assemble_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return assemble_seconds_;
+}
+
+}  // namespace r4ncl::snn

@@ -1,0 +1,105 @@
+// Double-buffered minibatch assembly for the supervised training loop.
+//
+// BatchPipeline turns a SampleSource + epoch permutation into a sequence of
+// ready-to-train PreparedBatch slots.  With prefetch = 0 it assembles each
+// batch synchronously into a persistent scratch tensor (the allocation-free
+// fast path the trainer always gets).  With prefetch ≥ 1 a single background
+// producer thread decodes batch t+1..t+prefetch into spare slots while the
+// consumer trains on batch t, overlapping replay decompression with the
+// forward/backward pass.
+//
+// Correctness contracts:
+//  - All SampleSource::fetch calls happen on one thread (the producer when
+//    prefetch ≥ 1, the caller otherwise), preserving the source's
+//    single-scratch streaming contract.
+//  - Batch contents and consumption order are independent of `prefetch`, so
+//    prefetch=N is bit-identical to prefetch=0 (pinned by tests/bench).
+//  - Producer-side exceptions are captured and rethrown from next_batch().
+//
+// stall_seconds() (consumer wait) vs assemble_seconds() (decode + fill work)
+// is the overlap headline: with prefetch=0 every assembled second stalls the
+// train loop; with prefetch=1 only the un-overlapped remainder does.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "snn/trainer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace r4ncl::snn {
+
+/// One assembled minibatch: the (T × count × C) input cube, its labels, and
+/// its offset into the epoch permutation (order[lo + b] is row b's source
+/// index — what the sample_outcome hook reports against).
+struct PreparedBatch {
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+  std::size_t lo = 0;
+  std::size_t count = 0;
+};
+
+class BatchPipeline {
+ public:
+  /// `source` must outlive the pipeline.  `prefetch` is the number of batches
+  /// decoded ahead of the consumer (0 = synchronous).
+  BatchPipeline(const SampleSource& source, std::size_t batch_size, std::size_t prefetch);
+  ~BatchPipeline();
+
+  BatchPipeline(const BatchPipeline&) = delete;
+  BatchPipeline& operator=(const BatchPipeline&) = delete;
+
+  /// Starts an epoch over the given permutation of [0, source.size).  The
+  /// previous epoch must have been fully consumed.
+  void begin_epoch(const std::vector<std::size_t>& order);
+
+  /// Next assembled batch, or nullptr at epoch end.  The returned slot stays
+  /// valid until the next next_batch() call.  Rethrows producer exceptions.
+  const PreparedBatch* next_batch();
+
+  /// Cumulative seconds the consumer spent blocked waiting for a batch.
+  [[nodiscard]] double stall_seconds() const;
+  /// Cumulative seconds spent decoding + filling batch tensors.
+  [[nodiscard]] double assemble_seconds() const;
+
+ private:
+  struct Slot {
+    PreparedBatch pb;
+    bool ready = false;
+  };
+
+  void assemble(PreparedBatch& pb, std::size_t batch_index);
+  void producer_main();
+
+  const SampleSource& source_;
+  std::size_t batch_size_;
+  std::size_t prefetch_;
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> order_;
+  std::size_t num_batches_ = 0;
+
+  // Consumer-side cursor (threaded mode: guarded by mu_).
+  std::size_t next_consume_ = 0;
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  std::size_t held_slot_ = kNoSlot;
+
+  // Producer state (guarded by mu_).
+  std::size_t produce_next_ = 0;
+  std::size_t produced_ = 0;
+  std::exception_ptr error_;
+  bool shutdown_ = false;
+
+  double stall_seconds_ = 0.0;
+  double assemble_seconds_ = 0.0;  // guarded by mu_ in threaded mode
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_producer_;
+  std::condition_variable cv_consumer_;
+  std::thread producer_;
+};
+
+}  // namespace r4ncl::snn

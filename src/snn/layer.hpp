@@ -14,11 +14,20 @@
 // default (LifParams::detach_reset), matching common SNN training practice;
 // the non-detached variant exists so finite-difference tests can validate the
 // complete gradient in soft mode.
+// Hot path (hard mode): the forward pass is event-driven — the input cube is
+// turned into per-timestep active-channel lists (compress::BatchEventList)
+// once, I(t) accumulates O(events·n_out) weight rows in ascending channel
+// order (the exact accumulation order of kernels::matmul's zero-skipping
+// loop, so sparse ≡ dense bit-for-bit), the membrane update runs
+// batch-parallel over B rows (disjoint writes, per-row spike counts reduced
+// in fixed row order — threads=N ≡ threads=1), and synop stats fall out of
+// the event list instead of a per-timestep count_nonzero rescan.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "compress/aer.hpp"
 #include "snn/surrogate.hpp"
 #include "snn/threshold.hpp"
 #include "tensor/tensor.hpp"
@@ -26,6 +35,20 @@
 #include "util/serialize.hpp"
 
 namespace r4ncl::snn {
+
+/// Forward-pass kernel selection.  Both paths are bit-identical, so this is
+/// purely a performance knob; kNever exists as the bench baseline and
+/// escape hatch.  Soft mode always uses the dense path (gradcheck only).
+enum class SparseForward : std::uint8_t {
+  kAuto,   // event-driven in hard mode (the default)
+  kAlways, // event-driven in hard mode, asserting the input is binary-friendly
+  kNever,  // legacy dense matmul + count_nonzero stats
+};
+
+/// Process-wide forward-kernel selection (benches/tests toggle it; the
+/// bit-identity contract makes it safe to flip at any point).
+void set_sparse_forward(SparseForward mode) noexcept;
+[[nodiscard]] SparseForward sparse_forward() noexcept;
 
 /// LIF neuron constants shared by all neurons of a layer.
 struct LifParams {
@@ -87,8 +110,18 @@ class RecurrentLifLayer {
   /// Runs the layer over a (T × B × n_in) spike cube; returns (T × B × n_out)
   /// output spikes.  When `cache` is non-null the pass records everything the
   /// backward pass needs.  `stats`, if non-null, accumulates event counts.
+  /// Hard mode dispatches through the event-driven path (see file comment)
+  /// unless set_sparse_forward(kNever); results are bit-identical either way.
   Tensor forward(const Tensor& x, SpikeMode mode, const ThresholdPolicy& policy,
                  LayerCache* cache, SpikeOpStats* stats) const;
+
+  /// Event-driven forward directly from per-timestep active-channel lists
+  /// (e.g. built from AER samples via compress::events_from_aer) — no dense
+  /// input cube exists at any point.  Bit-identical to forward() over the
+  /// equivalent dense cube.  Inference-only: backward() needs the dense x,
+  /// so `cache` capture is not offered here.
+  Tensor forward_events(const compress::BatchEventList& events, SpikeMode mode,
+                        const ThresholdPolicy& policy, SpikeOpStats* stats) const;
 
   /// BPTT backward.  `x` must be the exact tensor passed to forward, `d_out`
   /// is ∂L/∂S (T × B × n_out).  Accumulates weight gradients internally and,
@@ -113,6 +146,14 @@ class RecurrentLifLayer {
   void load(BinaryReader& in);
 
  private:
+  /// The legacy dense kernel path (per-timestep matmul + count_nonzero
+  /// stats) — soft mode and the SparseForward::kNever bench baseline.
+  Tensor forward_dense(const Tensor& x, SpikeMode mode, const ThresholdPolicy& policy,
+                       LayerCache* cache, SpikeOpStats* stats) const;
+  /// The event-driven, batch-parallel path (hard mode).
+  Tensor forward_sparse(const compress::BatchEventList& events, const ThresholdPolicy& policy,
+                        LayerCache* cache, SpikeOpStats* stats) const;
+
   std::size_t n_in_;
   std::size_t n_out_;
   LifParams lif_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "snn/batch_pipeline.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -28,46 +29,35 @@ std::vector<EpochRecord> train_supervised(SnnNetwork& net, const SampleSource& s
   Rng shuffle_rng(options.shuffle_seed);
   std::vector<EpochRecord> history;
   history.reserve(options.epochs);
-  std::vector<std::int32_t> labels;
-  labels.reserve(options.batch_size);
   std::vector<std::uint8_t> row_correct;
+
+  // Samples are copied into a persistent scratch batch one at a time, so a
+  // lazy source only ever needs its current sample alive — the streaming
+  // replay contract.  With prefetch > 0 the pipeline decodes the next batch
+  // on a background thread while this one trains.
+  BatchPipeline pipeline(source, options.batch_size, options.prefetch);
+  double assemble_base = 0.0;
+  double stall_base = 0.0;
 
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     Stopwatch watch;
     EpochRecord rec;
     rec.epoch = epoch;
     auto order = shuffle_rng.permutation(source.size);
+    pipeline.begin_epoch(order);
     std::size_t correct = 0;
     double loss_sum = 0.0;
     std::size_t batches = 0;
-    for (std::size_t lo = 0; lo < order.size(); lo += options.batch_size) {
-      const std::size_t hi = std::min(order.size(), lo + options.batch_size);
-      const std::size_t batch_count = hi - lo;
-      // Samples are copied into the batch tensor one at a time, so a lazy
-      // source only ever needs its current sample alive — the streaming
-      // replay contract.
-      Tensor batch;
-      labels.clear();
-      for (std::size_t b = 0; b < batch_count; ++b) {
-        const data::Sample& s = source.fetch(order[lo + b]);
-        if (b == 0) {
-          batch = Tensor(s.raster.timesteps, batch_count, s.raster.channels);
-        } else {
-          R4NCL_CHECK(s.raster.timesteps == batch.dim(0) && s.raster.channels == batch.dim(2),
-                      "raster shape mismatch inside batch");
-        }
-        data::fill_batch_column(batch, b, s.raster);
-        labels.push_back(s.label);
-      }
+    while (const PreparedBatch* pb = pipeline.next_batch()) {
       const StepResult step =
-          net.train_step(batch, labels, options.insertion_layer, options.policy, optimizer,
-                         options.lr, options.mode, &rec.stats,
+          net.train_step(pb->batch, pb->labels, options.insertion_layer, options.policy,
+                         optimizer, options.lr, options.mode, &rec.stats,
                          options.sample_outcome ? &row_correct : nullptr);
       loss_sum += step.loss;
       correct += step.correct;
       if (options.sample_outcome) {
-        for (std::size_t b = 0; b < batch_count; ++b) {
-          options.sample_outcome(order[lo + b], row_correct[b] != 0 ? 0.0f : 1.0f);
+        for (std::size_t b = 0; b < pb->count; ++b) {
+          options.sample_outcome(order[pb->lo + b], row_correct[b] != 0 ? 0.0f : 1.0f);
         }
       }
       ++batches;
@@ -76,10 +66,15 @@ std::vector<EpochRecord> train_supervised(SnnNetwork& net, const SampleSource& s
     rec.train_accuracy =
         static_cast<double>(correct) / static_cast<double>(source.size);
     rec.wall_seconds = watch.elapsed_seconds();
+    rec.assembly_seconds = pipeline.assemble_seconds() - assemble_base;
+    rec.assembly_stall_seconds = pipeline.stall_seconds() - stall_base;
+    assemble_base += rec.assembly_seconds;
+    stall_base += rec.assembly_stall_seconds;
     if (options.verbose) {
       R4NCL_INFO("epoch " << epoch << ": loss=" << rec.loss
                           << " train_acc=" << rec.train_accuracy << " ("
-                          << rec.wall_seconds << "s)");
+                          << rec.wall_seconds << "s, assembly stall "
+                          << rec.assembly_stall_seconds << "s)");
     }
     if (hook) hook(rec);
     history.push_back(std::move(rec));
@@ -90,23 +85,45 @@ std::vector<EpochRecord> train_supervised(SnnNetwork& net, const SampleSource& s
 double evaluate(const SnnNetwork& net, const data::Dataset& dataset,
                 std::size_t insertion_layer, const ThresholdPolicy& policy,
                 std::size_t batch_size, SpikeOpStats* stats) {
-  if (dataset.empty()) return 0.0;
+  SampleSource source;
+  source.size = dataset.size();
+  source.fetch = [&dataset](std::size_t i) -> const data::Sample& { return dataset[i]; };
+  return evaluate(net, source, insertion_layer, policy, batch_size, stats);
+}
+
+double evaluate(const SnnNetwork& net, const SampleSource& source, std::size_t insertion_layer,
+                const ThresholdPolicy& policy, std::size_t batch_size, SpikeOpStats* stats) {
+  if (source.size == 0) return 0.0;
+  R4NCL_CHECK(static_cast<bool>(source.fetch), "SampleSource.fetch must be set");
   R4NCL_CHECK(batch_size > 0, "batch_size must be positive");
   std::size_t correct = 0;
-  std::vector<std::size_t> indices(dataset.size());
-  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-  for (std::size_t lo = 0; lo < indices.size(); lo += batch_size) {
-    const std::size_t hi = std::min(indices.size(), lo + batch_size);
-    const std::span<const std::size_t> idx(indices.data() + lo, hi - lo);
-    const Tensor batch = data::make_batch(dataset, idx);
-    const auto labels = data::batch_labels(dataset, idx);
+  // One scratch batch reused across the whole sweep: samples stream through
+  // it one at a time, so peak assembly memory is a single minibatch.
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+  labels.reserve(batch_size);
+  for (std::size_t lo = 0; lo < source.size; lo += batch_size) {
+    const std::size_t hi = std::min(source.size, lo + batch_size);
+    const std::size_t count = hi - lo;
+    labels.clear();
+    for (std::size_t b = 0; b < count; ++b) {
+      const data::Sample& s = source.fetch(lo + b);
+      if (b == 0) {
+        data::ensure_batch_shape(batch, s.raster.timesteps, count, s.raster.channels);
+      } else {
+        R4NCL_CHECK(s.raster.timesteps == batch.dim(0) && s.raster.channels == batch.dim(2),
+                    "raster shape mismatch inside batch");
+      }
+      data::fill_batch_column(batch, b, s.raster);
+      labels.push_back(s.label);
+    }
     const Tensor logits = net.forward_logits(batch, insertion_layer, policy, stats);
     const auto preds = argmax_rows(logits);
     for (std::size_t i = 0; i < preds.size(); ++i) {
       if (preds[i] == labels[i]) ++correct;
     }
   }
-  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+  return static_cast<double>(correct) / static_cast<double>(source.size);
 }
 
 }  // namespace r4ncl::snn

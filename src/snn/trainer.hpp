@@ -26,6 +26,11 @@ struct TrainOptions {
   SpikeMode mode = SpikeMode::kHard;
   std::uint64_t shuffle_seed = 99;
   bool verbose = false;
+  /// Minibatches to decode ahead of the train loop on a background thread
+  /// (0 = synchronous).  Batch contents and visit order are independent of
+  /// this knob, so results are bit-identical for any value — it only moves
+  /// sample decode off the critical path (see snn::BatchPipeline).
+  std::size_t prefetch = 0;
   /// Optional per-sample outcome hook: called once per trained sample per
   /// epoch with the sample's source index and its pre-update top-1 error
   /// (0.0 = correct, 1.0 = miss).  This is the trainer→replay-buffer
@@ -40,6 +45,11 @@ struct EpochRecord {
   double loss = 0.0;
   double train_accuracy = 0.0;
   double wall_seconds = 0.0;
+  /// Seconds spent decoding samples + filling batch tensors this epoch.
+  double assembly_seconds = 0.0;
+  /// Seconds the train loop was blocked waiting on batch assembly; equals
+  /// assembly_seconds when prefetch = 0, shrinks toward 0 with overlap.
+  double assembly_stall_seconds = 0.0;
   SpikeOpStats stats;  // forward+backward work of this epoch
 };
 
@@ -73,6 +83,15 @@ std::vector<EpochRecord> train_supervised(SnnNetwork& net, const SampleSource& s
 
 /// Top-1 accuracy of `net` on `dataset` fed at `insertion_layer`.
 double evaluate(const SnnNetwork& net, const data::Dataset& dataset,
+                std::size_t insertion_layer = 0,
+                const ThresholdPolicy& policy = ThresholdPolicy::fixed(1.0f),
+                std::size_t batch_size = 32, SpikeOpStats* stats = nullptr);
+
+/// evaluate() over a lazily-fetched source: samples stream one at a time
+/// into a single reused scratch batch, so a replay-buffer-backed source is
+/// scored without ever materializing the set densely.  Bit-identical to the
+/// Dataset overload (which is implemented on top of this one).
+double evaluate(const SnnNetwork& net, const SampleSource& source,
                 std::size_t insertion_layer = 0,
                 const ThresholdPolicy& policy = ThresholdPolicy::fixed(1.0f),
                 std::size_t batch_size = 32, SpikeOpStats* stats = nullptr);

@@ -109,7 +109,7 @@ TEST(Trainer, EmptyDatasetThrows) {
 
 TEST(Trainer, EvaluateEmptyDatasetIsZero) {
   SnnNetwork net(small_net(8, 2));
-  EXPECT_EQ(evaluate(net, {}), 0.0);
+  EXPECT_EQ(evaluate(net, data::Dataset{}), 0.0);
 }
 
 TEST(Trainer, EvaluateFromInsertionPoint) {

@@ -80,6 +80,21 @@ FLEET_COLUMNS = [
 # this many real device threads against the shared engine.
 FLEET_MIN_CONCURRENT_STREAMS = 4
 
+HOT_PATH_COLUMNS = [
+    "mode", "density", "threads", "prefetch", "reps", "wall_ms", "ref_ms",
+    "speedup", "stall_ms", "blocking_ms", "stall_frac", "spike_checksum",
+    "identical",
+]
+# The hot-path acceptance gates (mirrors the bench's own strict=1 envelope):
+# from stored AER the event-driven forward must be >= 2x the decode-to-dense
+# pipeline at <= 10% density, and prefetch must hide > 80% of the blocking
+# batch-assembly cost.
+HOT_PATH_MIN_AER_SPEEDUP = 2.0
+HOT_PATH_MAX_STALL_FRAC = 0.20
+# speedup / stall_frac are derived columns re-computed from the wall columns;
+# the tolerance only absorbs their three-decimal formatting.
+HOT_PATH_DERIVED_TOL = 0.02
+
 
 class GateFailure(Exception):
     """One failed gate; the message names the file, row and invariant."""
@@ -370,6 +385,75 @@ def check_fleet_replay(doc) -> int:
     return checks
 
 
+# ---- BENCH_hot_path.json -----------------------------------------------------
+
+def check_hot_path(doc) -> int:
+    ctx = "hot_path"
+    if not isinstance(doc, list):
+        raise GateFailure(f"{ctx}: expected a bare row array")
+    require_columns(doc, HOT_PATH_COLUMNS, ctx)
+    checks = 0
+
+    # Self-check on every row: the bit-identity flag held (sparse ≡ dense /
+    # threads=N ≡ 1 / prefetch=1 ≡ 0 — the bench exits nonzero otherwise, so
+    # a committed 0 means the artifact was generated from a broken build).
+    for i, row in enumerate(doc):
+        where = f"{ctx}: row {i} ({row['mode']}/{row['density']})"
+        if row["identical"] != "1":
+            raise GateFailure(f"{where}: bit-identity flag is not 1")
+        if fnum(row, "wall_ms", where) <= 0:
+            raise GateFailure(f"{where}: non-positive wall_ms")
+        checks += 2
+        # speedup is derived; it must agree with ref_ms / wall_ms.
+        if row["speedup"] != "-":
+            expected = fnum(row, "ref_ms", where) / fnum(row, "wall_ms", where)
+            if abs(fnum(row, "speedup", where) - expected) > HOT_PATH_DERIVED_TOL:
+                raise GateFailure(
+                    f"{where}: speedup {row['speedup']} != ref_ms / wall_ms "
+                    f"({expected:.3f})")
+            checks += 1
+
+    by_mode = {}
+    for row in doc:
+        by_mode.setdefault(row["mode"], []).append(row)
+    for mode in ("forward", "forward_aer", "train_threads", "train_prefetch"):
+        if mode not in by_mode:
+            raise GateFailure(f"{ctx}: no {mode} rows")
+    checks += 1
+
+    # Headline: from stored AER, the event path must clear the pinned speedup
+    # at replay-realistic density.
+    gated = [fnum(r, "speedup", f"{ctx}: forward_aer row")
+             for r in by_mode["forward_aer"] if float(r["density"]) <= 0.10]
+    if not gated:
+        raise GateFailure(f"{ctx}: no forward_aer rows at density <= 0.10")
+    if max(gated) < HOT_PATH_MIN_AER_SPEEDUP:
+        raise GateFailure(
+            f"{ctx}: best from-AER forward speedup {max(gated):.3f} below the "
+            f"pinned {HOT_PATH_MIN_AER_SPEEDUP}x floor")
+    checks += 1
+
+    # Headline: prefetch hides > 80% of the blocking assembly cost, and the
+    # committed stall_frac agrees with its stall/blocking columns.
+    for row in by_mode["train_prefetch"]:
+        where = f"{ctx}: train_prefetch row"
+        stall = fnum(row, "stall_ms", where)
+        blocking = fnum(row, "blocking_ms", where)
+        frac = fnum(row, "stall_frac", where)
+        if blocking <= 0:
+            raise GateFailure(f"{where}: non-positive blocking_ms")
+        if abs(frac - stall / blocking) > HOT_PATH_DERIVED_TOL:
+            raise GateFailure(
+                f"{where}: stall_frac {frac} != stall_ms / blocking_ms "
+                f"({stall / blocking:.3f})")
+        if frac >= HOT_PATH_MAX_STALL_FRAC:
+            raise GateFailure(
+                f"{where}: stall_frac {frac} not below the pinned "
+                f"{HOT_PATH_MAX_STALL_FRAC} ceiling")
+        checks += 3
+    return checks
+
+
 # ---- BENCH_resume_parity.json ------------------------------------------------
 
 def check_resume_parity(doc) -> int:
@@ -421,6 +505,7 @@ CHECKS = {
     "BENCH_baseline.json": check_baseline,
     "BENCH_fleet_replay.json": check_fleet_replay,
     "BENCH_resume_parity.json": check_resume_parity,
+    "BENCH_hot_path.json": check_hot_path,
 }
 
 
@@ -459,12 +544,14 @@ def self_test(directory: Path) -> int:
     baseline = load(directory / "BENCH_baseline.json")
     fleet = load(directory / "BENCH_fleet_replay.json")
     resume = load(directory / "BENCH_resume_parity.json")
+    hot_path = load(directory / "BENCH_hot_path.json")
     # The pristine copies must pass before corruption means anything.
     check_budget_sweep(copy.deepcopy(sweep))
     check_replay_stream(copy.deepcopy(stream))
     check_baseline(copy.deepcopy(baseline))
     check_fleet_replay(copy.deepcopy(fleet))
     check_resume_parity(copy.deepcopy(resume))
+    check_hot_path(copy.deepcopy(hot_path))
 
     cases = 0
 
@@ -598,6 +685,50 @@ def self_test(directory: Path) -> int:
         if row["mode"] == "corruption" and row["kind"] == "truncation":
             row["clean_passes"] = "1"
     expect_failure("truncated checkpoint loaded cleanly", check_resume_parity, bad)
+    cases += 1
+
+    bad = copy.deepcopy(hot_path)
+    for row in bad:
+        if row["mode"] == "forward":
+            row["identical"] = "0"
+            break
+    expect_failure("hot-path bit-identity flag", check_hot_path, bad)
+    cases += 1
+
+    # Speedup regression written *consistently* (wall, ref and the derived
+    # speedup column all agreeing), so only the pinned floor can catch it.
+    bad = copy.deepcopy(hot_path)
+    for row in bad:
+        if row["mode"] == "forward_aer":
+            row["ref_ms"] = row["wall_ms"]
+            row["speedup"] = "1.000"
+    expect_failure("hot-path AER speedup floor", check_hot_path, bad)
+    cases += 1
+
+    bad = copy.deepcopy(hot_path)
+    for row in bad:
+        if row["mode"] == "forward_aer":
+            row["speedup"] = "9.999"  # no longer ref_ms / wall_ms
+            break
+    expect_failure("hot-path speedup/wall mismatch", check_hot_path, bad)
+    cases += 1
+
+    bad = copy.deepcopy(hot_path)
+    for row in bad:
+        if row["mode"] == "train_prefetch":
+            row["stall_ms"] = row["blocking_ms"]
+            row["stall_frac"] = "1.000"
+    expect_failure("hot-path stall ceiling", check_hot_path, bad)
+    cases += 1
+
+    bad = copy.deepcopy(hot_path)
+    bad = [r for r in bad if r["mode"] != "train_prefetch"]
+    expect_failure("hot-path prefetch rows dropped", check_hot_path, bad)
+    cases += 1
+
+    bad = copy.deepcopy(hot_path)
+    del bad[0]["spike_checksum"]
+    expect_failure("hot-path dropped column", check_hot_path, bad)
     cases += 1
 
     return cases
