@@ -77,7 +77,7 @@ std::size_t ShardedReplayEngine::shard_of(const data::SpikeRaster& raster,
 
 bool ShardedReplayEngine::add(const data::SpikeRaster& raster, std::int32_t label) {
   Shard& sh = *shards_[shard_of(raster, label)];
-  std::lock_guard<std::mutex> lock(sh.mu);
+  MutexLock lock(sh.mu);
   return sh.buffer.add(raster, label);
 }
 
@@ -89,7 +89,7 @@ const LatentReplayBuffer& ShardedReplayEngine::shard(std::size_t i) const {
 std::size_t ShardedReplayEngine::size() const noexcept {
   std::size_t total = 0;
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    MutexLock lock(sh->mu);
     total += sh->buffer.size();
   }
   return total;
@@ -99,7 +99,7 @@ std::size_t ShardedReplayEngine::channels() const noexcept {
   // All shards store rasters of the run's one insertion-layer width; report
   // the first shard that has fixed it (0 while the whole engine is empty).
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    MutexLock lock(sh->mu);
     const std::size_t c = sh->buffer.channels();
     if (c != 0) return c;
   }
@@ -113,7 +113,7 @@ bool ShardedReplayEngine::with_entry(
   // walk shards in order, locking one at a time, until the owner is found.
   std::size_t skipped = 0;
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    MutexLock lock(sh->mu);
     const std::size_t n = sh->buffer.size();
     if (index - skipped < n) {
       fn(sh->buffer, index - skipped);
@@ -165,7 +165,7 @@ void ShardedReplayEngine::set_capacity(std::size_t new_capacity_bytes) {
   capacity_bytes_ = new_capacity_bytes;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& sh = *shards_[i];
-    std::lock_guard<std::mutex> lock(sh.mu);
+    MutexLock lock(sh.mu);
     sh.buffer.set_capacity(shard_capacity(new_capacity_bytes, i));
   }
 }
@@ -173,7 +173,7 @@ void ShardedReplayEngine::set_capacity(std::size_t new_capacity_bytes) {
 std::size_t ShardedReplayEngine::memory_bytes() const noexcept {
   std::size_t total = 0;
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    MutexLock lock(sh->mu);
     total += sh->buffer.memory_bytes();
   }
   return total;
@@ -182,7 +182,7 @@ std::size_t ShardedReplayEngine::memory_bytes() const noexcept {
 std::size_t ShardedReplayEngine::stream_seen() const noexcept {
   std::size_t total = 0;
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    MutexLock lock(sh->mu);
     total += sh->buffer.stream_seen();
   }
   return total;
@@ -191,7 +191,7 @@ std::size_t ShardedReplayEngine::stream_seen() const noexcept {
 std::size_t ShardedReplayEngine::evictions() const noexcept {
   std::size_t total = 0;
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    MutexLock lock(sh->mu);
     total += sh->buffer.evictions();
   }
   return total;
@@ -201,7 +201,7 @@ std::vector<std::pair<std::int32_t, std::size_t>> ShardedReplayEngine::class_occ
     const {
   std::map<std::int32_t, std::size_t> merged;
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    MutexLock lock(sh->mu);
     for (const auto& [label, count] : sh->buffer.class_occupancy()) {
       merged[label] += count;
     }
@@ -241,7 +241,7 @@ data::Dataset ShardedReplayEngine::sample(std::size_t k, Rng& rng,
 data::Dataset ShardedReplayEngine::materialize(snn::SpikeOpStats* stats) const {
   data::Dataset out;
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    MutexLock lock(sh->mu);
     data::Dataset part = sh->buffer.materialize(stats);
     out.insert(out.end(), std::make_move_iterator(part.begin()),
                std::make_move_iterator(part.end()));
@@ -264,7 +264,7 @@ void ShardedReplayEngine::save(BinaryWriter& out) const {
   out.write_u32(static_cast<std::uint32_t>(sharding_.shard_by));
   out.write_u64(capacity_bytes_);
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    MutexLock lock(sh->mu);
     sh->buffer.save(out);
   }
 }
@@ -282,7 +282,7 @@ void ShardedReplayEngine::load(BinaryReader& in) {
                                                               << to_string(sharding_.shard_by));
   const std::uint64_t capacity = in.read_u64();
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    MutexLock lock(sh->mu);
     sh->buffer.load(in);
   }
   capacity_bytes_ = static_cast<std::size_t>(capacity);

@@ -39,13 +39,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/latent_buffer.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace r4ncl::core {
 
@@ -104,7 +105,12 @@ class ShardedReplayEngine : public ReplayEntrySource {
   [[nodiscard]] const ShardedEngineConfig& sharding() const noexcept { return sharding_; }
   /// Direct read access to shard `i`'s buffer — test/bench introspection
   /// only; the caller must not use it while other threads write the engine.
-  [[nodiscard]] const LatentReplayBuffer& shard(std::size_t i) const;
+  /// Deliberately unanalyzed: it hands out a reference to lock-guarded state
+  /// for quiescent-engine inspection, which thread-safety analysis cannot
+  /// express (the alternative — copying the buffer out — would change what
+  /// the tests observe).
+  [[nodiscard]] const LatentReplayBuffer& shard(std::size_t i) const
+      R4NCL_NO_THREAD_SAFETY_ANALYSIS;
 
   // --- ReplayEntrySource (global concatenated index space) ---
   [[nodiscard]] std::size_t size() const noexcept override;
@@ -176,9 +182,12 @@ class ShardedReplayEngine : public ReplayEntrySource {
 
  private:
   struct Shard {
-    LatentReplayBuffer buffer;
     /// Guards every access to `buffer`; mutable so const reads can lock.
-    mutable std::mutex mu;
+    /// Leaf lock: nothing is acquired while a shard lock is held, and
+    /// aggregate walks lock shards strictly one at a time, so no two shard
+    /// locks are ever held together and no acquisition order can form.
+    mutable Mutex mu;
+    LatentReplayBuffer buffer R4NCL_GUARDED_BY(mu);
 
     Shard(const compress::CodecConfig& codec, std::size_t activation_timesteps,
           const ReplayBufferConfig& budget)

@@ -22,7 +22,7 @@ BatchPipeline::BatchPipeline(const SampleSource& source, std::size_t batch_size,
 BatchPipeline::~BatchPipeline() {
   if (producer_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       shutdown_ = true;
     }
     cv_producer_.notify_all();
@@ -31,18 +31,21 @@ BatchPipeline::~BatchPipeline() {
 }
 
 void BatchPipeline::begin_epoch(const std::vector<std::size_t>& order) {
-  std::unique_lock<std::mutex> lock(mu_);
-  R4NCL_CHECK(next_consume_ == num_batches_ && held_slot_ == kNoSlot,
-              "begin_epoch before the previous epoch was fully consumed");
-  // The producer is parked in its work-wait here (produce_next_ ==
-  // num_batches_), so mutating shared state under the lock is safe.
-  order_ = order;
-  num_batches_ = (order_.size() + batch_size_ - 1) / batch_size_;
-  next_consume_ = 0;
-  produce_next_ = 0;
-  produced_ = 0;
-  for (Slot& s : slots_) s.ready = false;
-  lock.unlock();
+  {
+    MutexLock lock(mu_);
+    R4NCL_CHECK(next_consume_ == num_batches_ && held_slot_ == kNoSlot,
+                "begin_epoch before the previous epoch was fully consumed");
+    // The producer is parked in its work-wait here (produce_next_ ==
+    // num_batches_, and a producer decoding batch i implies i is neither
+    // produced nor consumed, contradicting the fully-consumed check above),
+    // so mutating shared state — including the unguarded epoch-stable
+    // order_ — under the lock is safe.
+    order_ = order;
+    num_batches_ = (order_.size() + batch_size_ - 1) / batch_size_;
+    next_consume_ = 0;
+    produce_next_ = 0;
+    for (Slot& s : slots_) s.ready = false;
+  }
   cv_producer_.notify_all();
 }
 
@@ -66,17 +69,19 @@ void BatchPipeline::assemble(PreparedBatch& pb, std::size_t batch_index) {
 }
 
 void BatchPipeline::producer_main() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (true) {
-    cv_producer_.wait(lock, [&] { return shutdown_ || produce_next_ < num_batches_; });
-    if (shutdown_) return;
-    const std::size_t idx = produce_next_;
+  for (;;) {
+    std::size_t idx = 0;
+    {
+      MutexLock lock(mu_);
+      while (!shutdown_ && produce_next_ >= num_batches_) cv_producer_.wait(mu_);
+      if (shutdown_) return;
+      idx = produce_next_;
+      while (!shutdown_ && slots_[idx % slots_.size()].ready) cv_producer_.wait(mu_);
+      if (shutdown_) return;
+    }
+    // A non-ready slot is producer-exclusive and order_/source_ are stable
+    // for the whole epoch, so the decode runs outside the lock.
     Slot& slot = slots_[idx % slots_.size()];
-    cv_producer_.wait(lock, [&] { return shutdown_ || !slot.ready; });
-    if (shutdown_) return;
-    // Decode outside the lock: a non-ready slot is producer-exclusive, and
-    // order_/source_ are stable for the whole epoch.
-    lock.unlock();
     double seconds = 0.0;
     std::exception_ptr err;
     try {
@@ -86,7 +91,7 @@ void BatchPipeline::producer_main() {
     } catch (...) {
       err = std::current_exception();
     }
-    lock.lock();
+    MutexLock lock(mu_);
     if (err != nullptr) {
       error_ = err;
       produce_next_ = num_batches_;  // abandon the epoch
@@ -95,7 +100,6 @@ void BatchPipeline::producer_main() {
     }
     assemble_seconds_ += seconds;
     slot.ready = true;
-    produced_ = idx + 1;
     produce_next_ = idx + 1;
     cv_consumer_.notify_all();
   }
@@ -103,18 +107,27 @@ void BatchPipeline::producer_main() {
 
 const PreparedBatch* BatchPipeline::next_batch() {
   if (prefetch_ == 0) {
-    if (next_consume_ == num_batches_) return nullptr;
-    // Synchronous path: the whole assembly is train-loop stall by definition.
+    // Synchronous path: no producer thread exists, but the cursor and the
+    // stat accumulators stay under mu_ so stall_seconds() / assemble_seconds()
+    // can be polled from another thread mid-epoch without a race.
+    std::size_t idx = 0;
+    {
+      MutexLock lock(mu_);
+      if (next_consume_ == num_batches_) return nullptr;
+      idx = next_consume_;
+    }
+    // The whole assembly is train-loop stall by definition.
     Stopwatch watch;
-    assemble(slots_[0].pb, next_consume_);
+    assemble(slots_[0].pb, idx);
     const double seconds = watch.elapsed_seconds();
+    MutexLock lock(mu_);
     assemble_seconds_ += seconds;
     stall_seconds_ += seconds;
-    ++next_consume_;
+    next_consume_ = idx + 1;
     return &slots_[0].pb;
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (held_slot_ != kNoSlot) {
     slots_[held_slot_].ready = false;
     held_slot_ = kNoSlot;
@@ -129,7 +142,7 @@ const PreparedBatch* BatchPipeline::next_batch() {
   if (next_consume_ == num_batches_) return nullptr;
   const std::size_t slot_idx = next_consume_ % slots_.size();
   Stopwatch watch;
-  cv_consumer_.wait(lock, [&] { return slots_[slot_idx].ready || error_ != nullptr; });
+  while (!slots_[slot_idx].ready && error_ == nullptr) cv_consumer_.wait(mu_);
   stall_seconds_ += watch.elapsed_seconds();
   if (error_ != nullptr) {
     std::exception_ptr err = error_;
@@ -143,12 +156,12 @@ const PreparedBatch* BatchPipeline::next_batch() {
 }
 
 double BatchPipeline::stall_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stall_seconds_;
 }
 
 double BatchPipeline::assemble_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return assemble_seconds_;
 }
 

@@ -21,15 +21,15 @@
 // train loop; with prefetch=1 only the un-overlapped remainder does.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "snn/trainer.hpp"
 #include "tensor/tensor.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace r4ncl::snn {
 
@@ -55,50 +55,58 @@ class BatchPipeline {
 
   /// Starts an epoch over the given permutation of [0, source.size).  The
   /// previous epoch must have been fully consumed.
-  void begin_epoch(const std::vector<std::size_t>& order);
+  void begin_epoch(const std::vector<std::size_t>& order) R4NCL_EXCLUDES(mu_);
 
   /// Next assembled batch, or nullptr at epoch end.  The returned slot stays
   /// valid until the next next_batch() call.  Rethrows producer exceptions.
-  const PreparedBatch* next_batch();
+  const PreparedBatch* next_batch() R4NCL_EXCLUDES(mu_);
 
   /// Cumulative seconds the consumer spent blocked waiting for a batch.
-  [[nodiscard]] double stall_seconds() const;
+  [[nodiscard]] double stall_seconds() const R4NCL_EXCLUDES(mu_);
   /// Cumulative seconds spent decoding + filling batch tensors.
-  [[nodiscard]] double assemble_seconds() const;
+  [[nodiscard]] double assemble_seconds() const R4NCL_EXCLUDES(mu_);
 
  private:
   struct Slot {
+    /// Batch payload.  Deliberately not guarded by mu_: a slot's pb is owned
+    /// by the producer while !ready and by the consumer while it is the held
+    /// slot; the `ready` flip under mu_ publishes the hand-off.
     PreparedBatch pb;
-    bool ready = false;
+    bool ready = false;  // guarded by mu_ (see field block below)
   };
 
-  void assemble(PreparedBatch& pb, std::size_t batch_index);
-  void producer_main();
+  void assemble(PreparedBatch& pb, std::size_t batch_index) R4NCL_EXCLUDES(mu_);
+  void producer_main() R4NCL_EXCLUDES(mu_);
 
   const SampleSource& source_;
   std::size_t batch_size_;
   std::size_t prefetch_;
+  /// Slot vector shape is construction-fixed; element `ready` flags follow
+  /// the mu_ discipline, element payloads the ownership protocol above.
   std::vector<Slot> slots_;
+  /// Epoch-stable: written by begin_epoch under mu_ while the producer is
+  /// parked (the fully-consumed precondition proves it cannot be decoding),
+  /// read without the lock by assemble() for the rest of the epoch.
   std::vector<std::size_t> order_;
-  std::size_t num_batches_ = 0;
 
-  // Consumer-side cursor (threaded mode: guarded by mu_).
-  std::size_t next_consume_ = 0;
   static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
-  std::size_t held_slot_ = kNoSlot;
 
-  // Producer state (guarded by mu_).
-  std::size_t produce_next_ = 0;
-  std::size_t produced_ = 0;
-  std::exception_ptr error_;
-  bool shutdown_ = false;
+  // Shared cursor/stat state.  Everything below is guarded by mu_ in *both*
+  // modes: the prefetch=0 path has no producer thread, but stall_seconds()/
+  // assemble_seconds() may legitimately be polled from another thread while
+  // an epoch runs, so the synchronous path takes the (uncontended) lock too.
+  std::size_t num_batches_ R4NCL_GUARDED_BY(mu_) = 0;
+  std::size_t next_consume_ R4NCL_GUARDED_BY(mu_) = 0;
+  std::size_t held_slot_ R4NCL_GUARDED_BY(mu_) = kNoSlot;
+  std::size_t produce_next_ R4NCL_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ R4NCL_GUARDED_BY(mu_);
+  bool shutdown_ R4NCL_GUARDED_BY(mu_) = false;
+  double stall_seconds_ R4NCL_GUARDED_BY(mu_) = 0.0;
+  double assemble_seconds_ R4NCL_GUARDED_BY(mu_) = 0.0;
 
-  double stall_seconds_ = 0.0;
-  double assemble_seconds_ = 0.0;  // guarded by mu_ in threaded mode
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_producer_;
-  std::condition_variable cv_consumer_;
+  mutable Mutex mu_;
+  CondVar cv_producer_;
+  CondVar cv_consumer_;
   std::thread producer_;
 };
 

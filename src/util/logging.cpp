@@ -5,16 +5,18 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace r4ncl {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_emit_mutex;
-/// Guarded by g_emit_mutex (both swap and call), so replacing the sink can
-/// never race an emission already formatting through the old one.
-LogSink g_sink;  // empty = default stderr sink
+Mutex g_emit_mutex;
+/// Both swap and call hold g_emit_mutex, so replacing the sink can never
+/// race an emission already formatting through the old one.
+LogSink g_sink R4NCL_GUARDED_BY(g_emit_mutex);  // empty = default stderr sink
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -31,7 +33,7 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   g_sink = std::move(sink);
 }
 
@@ -58,7 +60,7 @@ void log_emit(LogLevel level, const std::string& message) {
   static const clock::time_point start = clock::now();
   const double elapsed =
       std::chrono::duration<double>(clock::now() - start).count();
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   if (g_sink) {
     g_sink(level, message);
     return;

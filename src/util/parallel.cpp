@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "util/logging.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 #if defined(R4NCL_HAVE_OPENMP)
 #include <omp.h>
@@ -28,6 +30,7 @@ int default_threads() {
 // exactly once.
 void warn_if_no_openmp() {
 #if !defined(R4NCL_HAVE_OPENMP)
+  // r4ncl-lint: allow(static-local) std::call_once's flag is its own synchronization
   static std::once_flag flag;
   std::call_once(flag, [] {
     R4NCL_WARN("r4ncl built without OpenMP: parallel_for uses the std::thread "
@@ -97,6 +100,34 @@ void parallel_for(std::size_t begin, std::size_t end,
 #endif
 }
 
+namespace {
+
+/// First-exception slot shared by a run_workers pool.  The mutex is a leaf:
+/// capture() runs inside worker catch blocks and calls nothing else, so no
+/// acquisition order with caller-side locks can form — take_first() is
+/// R4NCL_EXCLUDES(mu_), which additionally pins that the joining caller
+/// reads the slot lock-free of its own locks.
+class FirstError {
+ public:
+  void capture(std::exception_ptr err) R4NCL_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (!err_) err_ = std::move(err);
+  }
+
+  /// The first captured exception (empty if none).  Call after every writer
+  /// has joined.
+  [[nodiscard]] std::exception_ptr take_first() R4NCL_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return std::move(err_);
+  }
+
+ private:
+  Mutex mu_;
+  std::exception_ptr err_ R4NCL_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
 void run_workers(std::size_t workers, const std::function<void(std::size_t)>& body) {
   if (workers == 0) return;
   // Coarse stateful tasks, not loop iterations: always plain std::threads
@@ -104,20 +135,18 @@ void run_workers(std::size_t workers, const std::function<void(std::size_t)>& bo
   // concurrency and TSan sees the real threading.
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  FirstError first_error;
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([w, &body, &first_error, &error_mu] {
+    pool.emplace_back([w, &body, &first_error] {
       try {
         body(w);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
+        first_error.capture(std::current_exception());
       }
     });
   }
   for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (std::exception_ptr err = first_error.take_first()) std::rethrow_exception(err);
 }
 
 }  // namespace r4ncl

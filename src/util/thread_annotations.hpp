@@ -1,0 +1,54 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// These expand to Clang's capability attributes when the compiler supports
+// them (clang with -Wthread-safety; the `tidy` CMake preset turns the
+// analysis into errors) and to nothing everywhere else, so GCC/MSVC builds
+// see plain declarations.  Annotate with the repo-prefixed macros only —
+// the determinism linter (tools/lint/determinism_lint.py) rejects raw
+// std::mutex members precisely so every lock in src/ flows through the
+// annotated util::Mutex wrapper in util/sync.hpp and stays visible to the
+// analysis.
+//
+// Cheat sheet (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//   R4NCL_CAPABILITY("mutex")      - class is a lockable capability
+//   R4NCL_SCOPED_CAPABILITY        - RAII guard class (MutexLock)
+//   R4NCL_GUARDED_BY(mu)           - member readable/writable only under mu
+//   R4NCL_PT_GUARDED_BY(mu)        - pointee guarded by mu
+//   R4NCL_REQUIRES(mu)             - caller must hold mu (held across call)
+//   R4NCL_ACQUIRE(mu) / R4NCL_RELEASE(mu) - function locks / unlocks mu
+//   R4NCL_TRY_ACQUIRE(ok, mu)      - locks mu when returning `ok`
+//   R4NCL_EXCLUDES(mu)             - caller must NOT hold mu (lock-order pin:
+//                                    public APIs that take mu internally)
+//   R4NCL_ACQUIRED_BEFORE/AFTER    - static lock-order edges
+//   R4NCL_NO_THREAD_SAFETY_ANALYSIS - opt a definition out (reason required
+//                                    by the determinism linter's review rule)
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define R4NCL_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#if !defined(R4NCL_THREAD_ANNOTATION)
+#define R4NCL_THREAD_ANNOTATION(x)  // not Clang (or too old): annotations erase
+#endif
+
+#define R4NCL_CAPABILITY(x) R4NCL_THREAD_ANNOTATION(capability(x))
+#define R4NCL_SCOPED_CAPABILITY R4NCL_THREAD_ANNOTATION(scoped_lockable)
+#define R4NCL_GUARDED_BY(x) R4NCL_THREAD_ANNOTATION(guarded_by(x))
+#define R4NCL_PT_GUARDED_BY(x) R4NCL_THREAD_ANNOTATION(pt_guarded_by(x))
+#define R4NCL_REQUIRES(...) R4NCL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define R4NCL_REQUIRES_SHARED(...) \
+  R4NCL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define R4NCL_ACQUIRE(...) R4NCL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define R4NCL_ACQUIRE_SHARED(...) \
+  R4NCL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define R4NCL_RELEASE(...) R4NCL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define R4NCL_RELEASE_SHARED(...) \
+  R4NCL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define R4NCL_TRY_ACQUIRE(...) R4NCL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define R4NCL_EXCLUDES(...) R4NCL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define R4NCL_ACQUIRED_BEFORE(...) R4NCL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define R4NCL_ACQUIRED_AFTER(...) R4NCL_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define R4NCL_RETURN_CAPABILITY(x) R4NCL_THREAD_ANNOTATION(lock_returned(x))
+#define R4NCL_NO_THREAD_SAFETY_ANALYSIS R4NCL_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,302 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint/determinism_lint.py (ctest: lint_unit).
+
+Covers every rule, every suppression form (same-line, line-above, bare,
+stale, unknown-rule), the path-scoped exemptions, the pinned finding format
+`<path>:<line>: [<rule>] <message>`, and the CLI exit codes.  Stdlib
+unittest only — the container has no pytest.
+"""
+
+import io
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools" / "lint"))
+
+import determinism_lint as dl  # noqa: E402
+
+
+def lint(source: str, relpath: str = "src/fixture.cpp"):
+    return dl.lint_lines(source.splitlines(), relpath)
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+class RuleFiringTest(unittest.TestCase):
+    """Each rule must fire on its canonical bad construct."""
+
+    def test_unordered_iteration_range_for(self):
+        src = (
+            "#include <unordered_map>\n"
+            "std::unordered_map<int, float> scores;\n"
+            "float total() {\n"
+            "  float t = 0;\n"
+            "  for (const auto& [k, v] : scores) t += v;\n"
+            "  return t;\n"
+            "}\n"
+        )
+        findings = lint(src)
+        self.assertEqual(rules_of(findings), ["unordered-iteration"])
+        self.assertEqual(findings[0].line, 5)
+
+    def test_unordered_iteration_begin_call(self):
+        src = (
+            "#include <unordered_set>\n"
+            "std::unordered_set<int> seen;\n"
+            "int first() { return *seen.begin(); }\n"
+        )
+        self.assertEqual(rules_of(lint(src)), ["unordered-iteration"])
+
+    def test_raw_random_variants(self):
+        for call in ("rand()", "srand(7)", "time(nullptr)",
+                     "std::rand()", "std::random_device{}()"):
+            findings = lint(f"int f() {{ return (int){call}; }}\n")
+            self.assertEqual(rules_of(findings), ["raw-random"], msg=call)
+
+    def test_omp_float_accum(self):
+        src = (
+            "void sum(const float* x, int n) {\n"
+            "  double acc = 0;\n"
+            "  #pragma omp parallel for\n"
+            "  for (int i = 0; i < n; ++i) {\n"
+            "    acc += x[i];\n"
+            "  }\n"
+            "}\n"
+        )
+        findings = lint(src)
+        self.assertEqual(rules_of(findings), ["omp-float-accum"])
+        self.assertEqual(findings[0].line, 5)
+
+    def test_run_workers_float_accum(self):
+        src = (
+            "void fleet() {\n"
+            "  float total = 0;\n"
+            "  r4ncl::run_workers(4, [&](std::size_t w) {\n"
+            "    total += 1.0f;\n"
+            "  });\n"
+            "}\n"
+        )
+        self.assertEqual(rules_of(lint(src)), ["omp-float-accum"])
+
+    def test_static_local(self):
+        src = "int counter() {\n  static int calls = 0;\n  return ++calls;\n}\n"
+        findings = lint(src)
+        self.assertEqual(rules_of(findings), ["static-local"])
+        self.assertEqual(findings[0].line, 2)
+
+    def test_raw_mutex(self):
+        src = (
+            "#include <mutex>\n"
+            "class C {\n"
+            "  std::mutex mu_;\n"
+            "  int n_ = 0;\n"
+            "};\n"
+        )
+        self.assertEqual(rules_of(lint(src)), ["raw-mutex"])
+
+
+class ExemptionTest(unittest.TestCase):
+    """Constructs the rules must deliberately NOT flag."""
+
+    def test_unordered_lookup_is_fine(self):
+        src = (
+            "#include <unordered_map>\n"
+            "std::unordered_map<int, float> scores;\n"
+            "float at(int k) { return scores.at(k); }\n"
+        )
+        self.assertEqual(lint(src), [])
+
+    def test_raw_random_exempt_under_util_rng(self):
+        src = "unsigned seed() { return std::random_device{}(); }\n"
+        self.assertEqual(lint(src, "src/util/rng.cpp"), [])
+        self.assertEqual(rules_of(lint(src, "src/core/engine.cpp")),
+                         ["raw-random"])
+
+    def test_identifier_containing_time_is_fine(self):
+        src = "double f() { return elapsed_time(1.0) + g.time(); }\n"
+        # A member call `g.time()` and a free fn `elapsed_time` are not
+        # ::time(); only the bare/std-qualified libc call is flagged.
+        self.assertEqual(lint(src), [])
+
+    def test_fixed_order_marker_silences_omp_accum(self):
+        src = (
+            "void sum(const float* x, int n) {\n"
+            "  double acc = 0;\n"
+            "  // partials folded serially below in fixed-order\n"
+            "  #pragma omp parallel for\n"
+            "  for (int i = 0; i < n; ++i) {\n"
+            "    acc += x[i];\n"
+            "  }\n"
+            "}\n"
+        )
+        self.assertEqual(lint(src), [])
+
+    def test_static_const_and_constexpr_are_fine(self):
+        src = (
+            "int limit() {\n"
+            "  static const int cap = 64;\n"
+            "  static constexpr int floor_v = 2;\n"
+            "  return cap + floor_v;\n"
+            "}\n"
+        )
+        self.assertEqual(lint(src), [])
+
+    def test_static_local_exempt_in_tests(self):
+        src = "int counter() {\n  static int calls = 0;\n  return ++calls;\n}\n"
+        self.assertEqual(lint(src, "tests/test_x.cpp"), [])
+        self.assertEqual(rules_of(lint(src, "bench/b.cpp")), ["static-local"])
+
+    def test_static_member_function_declaration_is_fine(self):
+        src = (
+            "class C {\n"
+            "  static int make(int x);\n"
+            "  static C from_parts(int a, int b) { return C{}; }\n"
+            "};\n"
+        )
+        self.assertEqual(lint(src), [])
+
+    def test_guarded_mutex_is_fine(self):
+        src = (
+            "#include <mutex>\n"
+            "class C {\n"
+            "  std::mutex mu_;\n"
+            "  int n_ R4NCL_GUARDED_BY(mu_) = 0;\n"
+            "};\n"
+        )
+        self.assertEqual(lint(src), [])
+
+    def test_string_literals_do_not_match(self):
+        src = 'const char* kMsg = "call rand() over the unordered_map";\n'
+        self.assertEqual(lint(src), [])
+
+
+class SuppressionTest(unittest.TestCase):
+    """Every allow() form: same-line, line-above, bare, stale, unknown."""
+
+    BAD_FOR = "for (const auto& [k, v] : m) t += v;"
+    PREFIX = ("#include <unordered_map>\n"
+              "std::unordered_map<int, int> m;\n"
+              "int fold() {\n"
+              "  int t = 0;\n")
+
+    def test_allow_on_line_above(self):
+        src = (self.PREFIX +
+               "  // r4ncl-lint: allow(unordered-iteration) int add commutes\n"
+               f"  {self.BAD_FOR}\n  return t;\n}}\n")
+        self.assertEqual(lint(src), [])
+
+    def test_allow_on_same_line(self):
+        src = (self.PREFIX +
+               f"  {self.BAD_FOR}  "
+               "// r4ncl-lint: allow(unordered-iteration) int add commutes\n"
+               "  return t;\n}\n")
+        self.assertEqual(lint(src), [])
+
+    def test_allow_does_not_reach_two_lines_down(self):
+        src = (self.PREFIX +
+               "  // r4ncl-lint: allow(unordered-iteration) int add commutes\n"
+               "  t += 1;\n"
+               f"  {self.BAD_FOR}\n  return t;\n}}\n")
+        self.assertEqual(rules_of(lint(src)),
+                         ["stale-allow", "unordered-iteration"])
+
+    def test_allow_for_wrong_rule_does_not_suppress(self):
+        src = (self.PREFIX +
+               "  // r4ncl-lint: allow(raw-random) not even the right rule\n"
+               f"  {self.BAD_FOR}\n  return t;\n}}\n")
+        self.assertEqual(rules_of(lint(src)),
+                         ["stale-allow", "unordered-iteration"])
+
+    def test_bare_allow_is_an_error(self):
+        src = (self.PREFIX +
+               "  // r4ncl-lint: allow(unordered-iteration)\n"
+               f"  {self.BAD_FOR}\n  return t;\n}}\n")
+        findings = lint(src)
+        self.assertEqual(rules_of(findings), ["bare-allow"])
+        self.assertEqual(findings[0].line, 5)
+
+    def test_stale_allow_is_an_error(self):
+        src = "// r4ncl-lint: allow(raw-random) nothing random here\nint f();\n"
+        findings = lint(src)
+        self.assertEqual(rules_of(findings), ["stale-allow"])
+        self.assertEqual(findings[0].line, 1)
+
+    def test_unknown_rule_is_an_error(self):
+        src = "// r4ncl-lint: allow(made-up-rule) reasons\nint f();\n"
+        findings = lint(src)
+        self.assertEqual(rules_of(findings), ["unknown-rule"])
+        self.assertIn("unknown-rule", str(findings[0]))
+
+
+class FindingFormatTest(unittest.TestCase):
+    def test_pinned_format(self):
+        src = "int f() {\n  static int n = 0;\n  return ++n;\n}\n"
+        findings = lint(src, "src/x.cpp")
+        self.assertEqual(len(findings), 1)
+        text = str(findings[0])
+        # Format is load-bearing: editors and the CI annotator parse it.
+        self.assertRegex(text, r"^src/x\.cpp:2: \[static-local\] .+$")
+
+    def test_findings_sorted_by_line(self):
+        src = (
+            "#include <cstdlib>\n"
+            "int a() { return rand(); }\n"
+            "int b() {\n  static int n = 0;\n  return ++n + rand();\n}\n"
+        )
+        findings = lint(src)
+        self.assertEqual([f.line for f in findings], sorted(f.line for f in findings))
+
+
+class CliTest(unittest.TestCase):
+    def run_main(self, argv):
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            code = dl.main(argv)
+        return code, out.getvalue(), err.getvalue()
+
+    def test_self_test_passes(self):
+        code, out, _ = self.run_main(["--self-test"])
+        self.assertEqual(code, 0)
+        self.assertIn("fixtures passed", out)
+
+    def test_list_rules(self):
+        code, out, _ = self.run_main(["--list-rules"])
+        self.assertEqual(code, 0)
+        self.assertEqual(out.split(), list(dl.RULES))
+
+    def test_clean_file_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            p = Path(tmp) / "clean.cpp"
+            p.write_text("int f() { return 1; }\n")
+            code, out, _ = self.run_main(["--root", tmp, str(p)])
+        self.assertEqual(code, 0)
+        self.assertIn("clean", out)
+
+    def test_findings_exit_one(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            p = Path(tmp) / "dirty.cpp"
+            p.write_text("#include <cstdlib>\nint f() { return rand(); }\n")
+            code, out, _ = self.run_main(["--root", tmp, str(p)])
+        self.assertEqual(code, 1)
+        self.assertIn("[raw-random]", out)
+
+    def test_missing_path_exits_two(self):
+        code, _, err = self.run_main(["/no/such/path.cpp"])
+        self.assertEqual(code, 2)
+        self.assertIn("no such path", err)
+
+    def test_repo_tree_is_clean(self):
+        # The wall's headline invariant: the checked-in tree has zero
+        # unsuppressed findings.
+        root = Path(__file__).resolve().parents[1]
+        code, out, _ = self.run_main(["--root", str(root)])
+        self.assertEqual(code, 0, msg=out)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

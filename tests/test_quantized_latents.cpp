@@ -136,7 +136,9 @@ TEST(QuantizedLatents, EightBitRoundTripPreservesEveryGroupCount) {
     }
     EXPECT_DOUBLE_EQ(compress::spike_retention(r, cfg), 1.0);
     // Ratio 1 has nothing to regroup: the raster itself round-trips exactly.
-    if (ratio == 1) EXPECT_EQ(round, r);
+    if (ratio == 1) {
+      EXPECT_EQ(round, r);
+    }
   }
 }
 

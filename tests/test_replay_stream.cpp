@@ -188,6 +188,10 @@ struct NaiveBufferModel {
             evict(balanced_victim(label));
           }
           break;
+        case ReplayPolicy::kLowImportance:
+        case ReplayPolicy::kImportanceClassBalanced:
+          ADD_FAILURE() << "NaiveBufferModel does not model importance policies";
+          break;
       }
     }
     entries.push_back({raster, label});
@@ -262,7 +266,7 @@ TEST_P(RingEvictionRegression, LongStreamMatchesVectorEraseModel) {
 INSTANTIATE_TEST_SUITE_P(AllPolicies, RingEvictionRegression,
                          ::testing::Values(ReplayPolicy::kFifo, ReplayPolicy::kReservoir,
                                            ReplayPolicy::kClassBalanced),
-                         [](const auto& info) { return std::string(to_string(info.param)); });
+                         [](const auto& p) { return std::string(to_string(p.param)); });
 
 // ---------------------------------------------------------------------------
 // Engine equivalence: replay_stream=1 reproduces the materialized run

@@ -1,0 +1,549 @@
+#!/usr/bin/env python3
+"""Determinism linter: file-scope checks for the repo's bit-identity hazards.
+
+Every headline contract in this repo is a determinism contract (shards=1
+bit-identical to the single buffer, threads=N == threads=1, sparse == dense,
+bit-identical warm resume).  The sanitizer lanes catch races *dynamically*;
+this linter catches the constructs that historically break bit-identity
+*statically*, before a bench ever drifts:
+
+  unordered-iteration  iteration over std::unordered_map / std::unordered_set
+                       (element order is implementation-defined, so any fold
+                       or emission over it is non-deterministic across
+                       libraries and hash seeds)
+  raw-random           rand()/srand()/time()/std::random_device outside
+                       util/rng (all randomness must flow through the seeded,
+                       checkpointable Rng streams)
+  omp-float-accum      float/double accumulation (+=, -=, *=, /=) inside a
+                       #pragma omp / run_workers region without a
+                       `fixed-order` marker comment asserting the reduction
+                       order is pinned
+  static-local         `static` mutable function-locals in product code (hidden
+                       cross-run state; tests and `static const`/`constexpr` are fine)
+  raw-mutex            std::mutex / std::recursive_mutex declarations whose
+                       file never ties them to a R4NCL_GUARDED_BY annotation
+                       (locks must be util::Mutex wrapped in annotated
+                       classes so -Wthread-safety can see them)
+
+Suppression syntax (same line or the line directly above the finding):
+
+    // r4ncl-lint: allow(<rule>) <reason>
+
+The reason is mandatory: a bare allow() is itself a lint error, so every
+suppression in the tree carries a written justification.
+
+Usage:
+    determinism_lint.py [--root DIR] [PATHS...]   lint files/dirs (default:
+                                                  src bench examples under
+                                                  --root, which defaults to
+                                                  the repo root)
+    determinism_lint.py --self-test               run the embedded fixtures
+    determinism_lint.py --list-rules              print rule names
+
+Exit codes: 0 clean, 1 findings, 2 usage/self-test failure.
+
+Finding format (pinned by tests/test_determinism_lint.py):
+    <path>:<line>: [<rule>] <message>
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+RULES = (
+    "unordered-iteration",
+    "raw-random",
+    "omp-float-accum",
+    "static-local",
+    "raw-mutex",
+)
+
+CPP_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h"}
+
+SUPPRESS_RE = re.compile(r"//\s*r4ncl-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_strings_and_comments(line: str) -> str:
+    """Blank out string/char literals and // comments so regexes cannot match
+    inside them.  Block comments are handled coarsely (full-line only)."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def suppressions(lines: list[str]) -> dict[int, tuple[str, str, int]]:
+    """Maps 0-based line numbers covered by an allow() to (rule, reason,
+    directive_line).  A directive covers its own line and the next line."""
+    covered: dict[int, tuple[str, str, int]] = {}
+    for i, line in enumerate(lines):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        rule, reason = m.group(1), m.group(2).strip()
+        covered[i] = (rule, reason, i)
+        covered[i + 1] = (rule, reason, i)
+    return covered
+
+
+# --- rule implementations (each takes the file's lines, yields findings) ---
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s+(\w+)"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;)]*?:\s*([A-Za-z_][\w.\->]*)\s*\)")
+BEGIN_CALL_RE = re.compile(r"([A-Za-z_][\w.\->]*)\s*(?:\.|->)\s*(?:c?begin|c?end)\s*\(")
+
+
+def check_unordered_iteration(lines: list[str]):
+    unordered_names: set[str] = set()
+    for line in lines:
+        code = strip_strings_and_comments(line)
+        for m in UNORDERED_DECL_RE.finditer(code):
+            unordered_names.add(m.group(1))
+    if not unordered_names:
+        return
+    for i, line in enumerate(lines):
+        code = strip_strings_and_comments(line)
+        names = []
+        m = RANGE_FOR_RE.search(code)
+        if m:
+            names.append(m.group(1))
+        for call in BEGIN_CALL_RE.finditer(code):
+            names.append(call.group(1))
+        for name in names:
+            base = re.split(r"[.\->]", name)[-1] or name
+            if base in unordered_names or name in unordered_names:
+                yield Finding(
+                    "", i + 1, "unordered-iteration",
+                    f"iteration over unordered container '{base}' has "
+                    "implementation-defined order; iterate a sorted key "
+                    "vector (or an ordered container) instead",
+                )
+                break
+
+
+RAW_RANDOM_RE = re.compile(
+    r"std::random_device|std::s?rand\b|std::time\b|(?<![\w:.])(?:s?rand|time)\s*\("
+)
+
+
+def check_raw_random(lines: list[str], relpath: str):
+    if relpath.replace("\\", "/").find("util/rng") != -1:
+        return  # the seeded Rng implementation is the sanctioned home
+    for i, line in enumerate(lines):
+        code = strip_strings_and_comments(line)
+        m = RAW_RANDOM_RE.search(code)
+        if m:
+            yield Finding(
+                "", i + 1, "raw-random",
+                f"'{m.group(0).strip()}' bypasses the seeded util/rng "
+                "streams; all randomness must be checkpointable and "
+                "replayable from a recorded seed",
+            )
+
+
+OMP_REGION_RE = re.compile(r"#\s*pragma\s+omp|run_workers\s*\(")
+FLOAT_DECL_RE = re.compile(r"\b(?:float|double)\s+(\w+)\s*(?:=|;|\{)")
+COMPOUND_ASSIGN_RE = re.compile(r"(\w+(?:\[[^\]]*\])?)\s*(?:\+=|-=|\*=|/=)")
+FIXED_ORDER_RE = re.compile(r"//.*fixed-order")
+
+
+def region_end(lines: list[str], start: int) -> int:
+    """End (exclusive) of the brace-balanced region opened at/after `start`."""
+    depth = 0
+    opened = False
+    for j in range(start, len(lines)):
+        code = strip_strings_and_comments(lines[j])
+        depth += code.count("{") - code.count("}")
+        if code.count("{"):
+            opened = True
+        if opened and depth <= 0:
+            return j + 1
+        if not opened and j > start + 2:
+            return j + 1  # pragma followed by a braceless statement
+    return len(lines)
+
+
+def check_omp_float_accum(lines: list[str]):
+    float_vars: set[str] = set()
+    for line in lines:
+        code = strip_strings_and_comments(line)
+        for m in FLOAT_DECL_RE.finditer(code):
+            float_vars.add(m.group(1))
+    i = 0
+    while i < len(lines):
+        code = strip_strings_and_comments(lines[i])
+        if not OMP_REGION_RE.search(code):
+            i += 1
+            continue
+        end = region_end(lines, i)
+        # The marker may sit inside the region or on the line introducing it.
+        region_fixed = any(FIXED_ORDER_RE.search(lines[j])
+                           for j in range(max(0, i - 1), end))
+        if not region_fixed:
+            for j in range(i, end):
+                rcode = strip_strings_and_comments(lines[j])
+                for m in COMPOUND_ASSIGN_RE.finditer(rcode):
+                    var = m.group(1).split("[")[0]
+                    if var in float_vars:
+                        yield Finding(
+                            "", j + 1, "omp-float-accum",
+                            f"float accumulation into '{var}' inside a "
+                            "parallel region: floating-point addition is not "
+                            "associative, so the reduction order must be "
+                            "pinned (add a `// ... fixed-order ...` comment "
+                            "once it is)",
+                        )
+        i = end
+    return
+
+
+STATIC_LOCAL_RE = re.compile(r"^\s+static\s+(?!const\b|constexpr\b|_?assert)")
+
+
+def check_static_local(lines: list[str], relpath: str):
+    # Product code only: tests may stash fixture state in statics.
+    if relpath.replace("\\", "/").startswith("tests/"):
+        return
+    for i, line in enumerate(lines):
+        code = strip_strings_and_comments(line)
+        if not STATIC_LOCAL_RE.search(code):
+            continue
+        # Skip member-function / static-member *declarations*: a parameter
+        # list opening before any initializer marks a function signature.
+        paren = code.find("(")
+        init = min((p for p in (code.find("="), code.find("{")) if p != -1),
+                   default=-1)
+        if paren != -1 and (init == -1 or paren < init):
+            continue
+        yield Finding(
+            "", i + 1, "static-local",
+            "mutable `static` local carries hidden cross-run state; hoist it "
+            "into an owned object (or mark it const/constexpr)",
+        )
+
+
+RAW_MUTEX_RE = re.compile(r"\bstd::(?:recursive_)?mutex\s+(\w+)")
+
+
+def check_raw_mutex(lines: list[str]):
+    text = "\n".join(lines)
+    for i, line in enumerate(lines):
+        code = strip_strings_and_comments(line)
+        m = RAW_MUTEX_RE.search(code)
+        if not m:
+            continue
+        name = m.group(1)
+        if f"R4NCL_GUARDED_BY({name})" in text:
+            continue
+        yield Finding(
+            "", i + 1, "raw-mutex",
+            f"raw std::mutex '{name}' is invisible to -Wthread-safety; use "
+            "util::Mutex and guard its state with R4NCL_GUARDED_BY",
+        )
+
+
+def lint_lines(lines: list[str], relpath: str) -> list[Finding]:
+    """Lints one file's lines; returns unsuppressed findings plus suppression
+    misuse findings.  `relpath` is the repo-relative path used in messages
+    and in path-scoped rules."""
+    raw: list[Finding] = []
+    raw.extend(check_unordered_iteration(lines))
+    raw.extend(check_raw_random(lines, relpath))
+    raw.extend(check_omp_float_accum(lines))
+    raw.extend(check_static_local(lines, relpath))
+    raw.extend(check_raw_mutex(lines))
+
+    covered = suppressions(lines)
+    findings: list[Finding] = []
+    used_directives: set[int] = set()
+
+    for f in raw:
+        entry = covered.get(f.line - 1)
+        if entry and entry[0] == f.rule:
+            used_directives.add(entry[2])
+            if not entry[1]:
+                findings.append(Finding(
+                    relpath, entry[2] + 1, "bare-allow",
+                    f"allow({f.rule}) without a reason: every suppression "
+                    "must say why the construct is determinism-safe",
+                ))
+            continue
+        f.path = relpath
+        findings.append(f)
+
+    # Misuse diagnostics: unknown rule names and directives that cover no
+    # finding (stale suppressions rot into false documentation).
+    for i, line in enumerate(lines):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        rule = m.group(1)
+        if rule not in RULES:
+            findings.append(Finding(
+                relpath, i + 1, "unknown-rule",
+                f"allow({rule}) names no linter rule (rules: {', '.join(RULES)})",
+            ))
+        elif i not in used_directives:
+            findings.append(Finding(
+                relpath, i + 1, "stale-allow",
+                f"allow({rule}) suppresses nothing here; delete the stale "
+                "directive",
+            ))
+
+    findings.sort(key=lambda f: (f.line, f.rule))
+    return findings
+
+
+def lint_file(path: Path, root: Path) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        return [Finding(str(path), 0, "io-error", str(e))]
+    try:
+        rel = str(path.resolve().relative_to(root.resolve()))
+    except ValueError:
+        rel = str(path)
+    return lint_lines(text.splitlines(), rel.replace("\\", "/"))
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(q for q in p.rglob("*") if q.suffix in CPP_SUFFIXES))
+        elif p.suffix in CPP_SUFFIXES or p.is_file():
+            files.append(p)
+    return files
+
+
+# --- self-test fixtures: (name, source, expected rule or None) -------------
+
+SELF_TEST_FIXTURES = [
+    ("bad_unordered_range_for", """\
+#include <unordered_map>
+std::unordered_map<int, float> scores;
+float total() {
+  float t = 0;
+  for (const auto& [k, v] : scores) t += v;
+  return t;
+}
+""", "unordered-iteration"),
+    ("bad_unordered_begin", """\
+#include <unordered_set>
+std::unordered_set<int> seen;
+int first() { return *seen.begin(); }
+""", "unordered-iteration"),
+    ("good_unordered_lookup", """\
+#include <unordered_map>
+std::unordered_map<int, float> scores;
+float at(int k) { return scores.at(k); }
+""", None),
+    ("bad_rand", """\
+#include <cstdlib>
+int draw() { return rand() % 6; }
+""", "raw-random"),
+    ("bad_random_device", """\
+#include <random>
+unsigned seed() { return std::random_device{}(); }
+""", "raw-random"),
+    ("bad_time", """\
+#include <ctime>
+long stamp() { return time(nullptr); }
+""", "raw-random"),
+    ("good_elapsed_time_name", """\
+double elapsed_time(double a);
+double f() { return elapsed_time(1.0); }
+""", None),
+    ("bad_omp_accum", """\
+void sum(const float* x, int n) {
+  double acc = 0;
+  #pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    acc += x[i];
+  }
+}
+""", "omp-float-accum"),
+    ("good_omp_fixed_order", """\
+void sum(const float* x, int n) {
+  double acc = 0;
+  // per-chunk partials are combined in fixed-order below
+  #pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    acc += x[i];
+  }
+}
+""", None),
+    ("bad_run_workers_accum", """\
+#include "util/parallel.hpp"
+void fleet(int n) {
+  float total = 0;
+  r4ncl::run_workers(4, [&](std::size_t w) {
+    total += static_cast<float>(w);
+  });
+}
+""", "omp-float-accum"),
+    ("bad_static_local", """\
+int counter() {
+  static int calls = 0;
+  return ++calls;
+}
+""", "static-local"),
+    ("good_static_const", """\
+int limit() {
+  static const int cap = 64;
+  static constexpr int floor_v = 2;
+  return cap + floor_v;
+}
+""", None),
+    ("bad_raw_mutex", """\
+#include <mutex>
+class Counter {
+  std::mutex mu_;
+  int n_ = 0;
+};
+""", "raw-mutex"),
+    ("good_guarded_mutex", """\
+#include <mutex>
+#include "util/thread_annotations.hpp"
+class Counter {
+  std::mutex mu_;
+  int n_ R4NCL_GUARDED_BY(mu_) = 0;
+};
+""", None),
+    ("good_suppressed", """\
+#include <unordered_map>
+std::unordered_map<int, int> m;
+int fold() {
+  int t = 0;
+  // r4ncl-lint: allow(unordered-iteration) addition is commutative over int
+  for (const auto& [k, v] : m) t += v;
+  return t;
+}
+""", None),
+    ("bad_bare_allow", """\
+#include <unordered_map>
+std::unordered_map<int, int> m;
+int fold() {
+  int t = 0;
+  // r4ncl-lint: allow(unordered-iteration)
+  for (const auto& [k, v] : m) t += v;
+  return t;
+}
+""", "bare-allow"),
+    ("bad_stale_allow", """\
+// r4ncl-lint: allow(raw-random) nothing random here
+int f() { return 1; }
+""", "stale-allow"),
+    ("bad_unknown_rule", """\
+// r4ncl-lint: allow(made-up-rule) reasons
+int f() { return 1; }
+""", "unknown-rule"),
+]
+
+
+def run_self_test() -> int:
+    failures = 0
+    for name, source, expected in SELF_TEST_FIXTURES:
+        # static-local is src/-scoped, so fixtures lint as src/ files.
+        findings = lint_lines(source.splitlines(), f"src/fixtures/{name}.cpp")
+        rules = {f.rule for f in findings}
+        if expected is None:
+            if findings:
+                print(f"SELF-TEST FAIL {name}: expected clean, got:")
+                for f in findings:
+                    print(f"  {f}")
+                failures += 1
+        elif expected not in rules:
+            print(f"SELF-TEST FAIL {name}: expected [{expected}], got "
+                  f"{sorted(rules) if rules else 'clean'}")
+            failures += 1
+        elif expected is not None and (rules - {expected}):
+            print(f"SELF-TEST FAIL {name}: unexpected extra findings "
+                  f"{sorted(rules - {expected})}")
+            failures += 1
+    total = len(SELF_TEST_FIXTURES)
+    if failures:
+        print(f"self-test: {failures}/{total} fixtures FAILED")
+        return 2
+    print(f"self-test: {total}/{total} fixtures passed")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repo root for relative paths and default dirs "
+                             "(default: this script's ../../)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded good/bad fixtures")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for r in RULES:
+            print(r)
+        return 0
+    if args.self_test:
+        return run_self_test()
+
+    root = args.root or Path(__file__).resolve().parents[2]
+    paths = args.paths or [root / "src", root / "bench", root / "examples"]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    files = collect_files(paths)
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, root))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"determinism lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)")
+        return 1
+    print(f"determinism lint: clean ({len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,53 @@
+// Deliberately-broken fixture: every determinism-linter rule fires here.
+// run_static_analysis.sh --self-test (and the CI negative check) prove the
+// wall has teeth by requiring the driver to FAIL on this file.  Never add it
+// to any build target.
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<int, float> g_scores;
+
+// unordered-iteration: fold order is implementation-defined.
+inline float total() {
+  float t = 0.0f;
+  for (const auto& [k, v] : g_scores) t += v;
+  return t;
+}
+
+// raw-random: both calls bypass the seeded util/rng streams.
+inline int noisy_draw() { return static_cast<int>(time(nullptr)) ^ rand(); }
+
+// static-local: hidden cross-run state.
+inline int call_count() {
+  static int calls = 0;
+  return ++calls;
+}
+
+// raw-mutex: invisible to -Wthread-safety, state not R4NCL_GUARDED_BY-tied.
+class Counter {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++n_;
+  }
+
+ private:
+  std::mutex mu_;
+  int n_ = 0;
+};
+
+// omp-float-accum: unordered parallel float reduction, no fixed-order marker.
+inline double unstable_sum(const double* x, int n) {
+  double acc = 0.0;
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    acc += x[i];
+  }
+  return acc;
+}
+
+}  // namespace fixture

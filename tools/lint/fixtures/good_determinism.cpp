@@ -1,0 +1,54 @@
+// Clean fixture: determinism-safe counterparts of everything
+// bad_determinism.cpp does wrong, including one reason-annotated
+// suppression.  run_static_analysis.sh --self-test requires the linter to
+// pass this file.  Never add it to any build target.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+std::unordered_map<int, float> g_scores;
+
+// Iterate a sorted key vector instead of the unordered container.
+inline float total_sorted() {
+  std::vector<int> keys;
+  keys.reserve(g_scores.size());
+  // r4ncl-lint: allow(unordered-iteration) keys are collected then sorted; emission order is the sorted order
+  for (const auto& [k, v] : g_scores) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  float t = 0.0f;
+  for (const int k : keys) t += g_scores.at(k);
+  return t;
+}
+
+// Annotated lock: the mutex is a capability and the state is tied to it.
+class Counter {
+ public:
+  void bump() R4NCL_EXCLUDES(mu_) {
+    r4ncl::MutexLock lock(mu_);
+    ++n_;
+  }
+
+ private:
+  r4ncl::Mutex mu_;
+  int n_ R4NCL_GUARDED_BY(mu_) = 0;
+};
+
+// Parallel float reduction with the order pinned (per-chunk partials folded
+// serially), carrying the fixed-order marker the linter looks for.
+inline double stable_sum(const double* x, int n) {
+  std::vector<double> partials(4, 0.0);
+#pragma omp parallel for  // partials folded serially below in fixed-order
+  for (int i = 0; i < n; ++i) {
+    partials[static_cast<std::size_t>(i) % 4] += x[i];
+  }
+  double acc = 0.0;
+  for (const double p : partials) acc += p;
+  return acc;
+}
+
+}  // namespace fixture

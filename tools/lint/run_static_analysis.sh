@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Static-analysis driver: determinism linter + compile-database clang-tidy.
+#
+# Usage:
+#   run_static_analysis.sh [options] [PATHS...]
+#     PATHS                 files/dirs for the determinism linter (default:
+#                           src bench examples)
+#     -p, --build-dir DIR   compile database dir for clang-tidy (default:
+#                           build-tidy, falling back to build-release)
+#     --require-clang-tidy  fail when clang-tidy is not installed (CI); the
+#                           default is to skip that layer with a notice so
+#                           bare machines can still run the determinism wall
+#     --skip-clang-tidy     never run clang-tidy even if present
+#     --self-test           prove the wall has teeth: linter --self-test must
+#                           pass, the good fixture must lint clean, and the
+#                           deliberately-bad fixture must FAIL
+#
+# Exit codes: 0 clean, 1 findings (or bad fixture unexpectedly passing),
+# 2 usage/toolchain errors.
+set -u
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+REPO_ROOT="$(cd "${SCRIPT_DIR}/../.." && pwd)"
+LINTER="${SCRIPT_DIR}/determinism_lint.py"
+PYTHON="${PYTHON:-python3}"
+
+BUILD_DIR=""
+REQUIRE_TIDY=0
+SKIP_TIDY=0
+SELF_TEST=0
+PATHS=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -p|--build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --require-clang-tidy) REQUIRE_TIDY=1; shift ;;
+    --skip-clang-tidy) SKIP_TIDY=1; shift ;;
+    --self-test) SELF_TEST=1; shift ;;
+    -h|--help) sed -n '2,20p' "$0"; exit 0 ;;
+    -*) echo "run_static_analysis.sh: unknown option '$1'" >&2; exit 2 ;;
+    *) PATHS+=("$1"); shift ;;
+  esac
+done
+
+if [[ ${SELF_TEST} -eq 1 ]]; then
+  rc=0
+  echo "== determinism linter self-test =="
+  "${PYTHON}" "${LINTER}" --self-test || rc=2
+  echo "== good fixture must pass =="
+  if "${PYTHON}" "${LINTER}" --root "${REPO_ROOT}" \
+      "${SCRIPT_DIR}/fixtures/good_determinism.cpp"; then
+    echo "good fixture: clean (as expected)"
+  else
+    echo "SELF-TEST FAIL: good fixture reported findings" >&2
+    rc=2
+  fi
+  echo "== bad fixture must fail =="
+  if "${PYTHON}" "${LINTER}" --root "${REPO_ROOT}" \
+      "${SCRIPT_DIR}/fixtures/bad_determinism.cpp"; then
+    echo "SELF-TEST FAIL: bad fixture passed the linter" >&2
+    rc=1
+  else
+    echo "bad fixture: rejected (as expected)"
+  fi
+  exit "${rc}"
+fi
+
+rc=0
+
+echo "== determinism linter =="
+if [[ ${#PATHS[@]} -gt 0 ]]; then
+  "${PYTHON}" "${LINTER}" --root "${REPO_ROOT}" "${PATHS[@]}" || rc=1
+else
+  "${PYTHON}" "${LINTER}" --root "${REPO_ROOT}" || rc=1
+fi
+
+if [[ ${SKIP_TIDY} -eq 1 ]]; then
+  echo "== clang-tidy: skipped (--skip-clang-tidy) =="
+elif ! command -v clang-tidy >/dev/null 2>&1; then
+  if [[ ${REQUIRE_TIDY} -eq 1 ]]; then
+    echo "run_static_analysis.sh: clang-tidy required but not installed" >&2
+    exit 2
+  fi
+  echo "== clang-tidy: not installed; skipping (pass --require-clang-tidy to enforce) =="
+else
+  if [[ -z "${BUILD_DIR}" ]]; then
+    for candidate in "${REPO_ROOT}/build-tidy" "${REPO_ROOT}/build-release"; do
+      if [[ -f "${candidate}/compile_commands.json" ]]; then
+        BUILD_DIR="${candidate}"
+        break
+      fi
+    done
+  fi
+  if [[ -z "${BUILD_DIR}" || ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+    echo "run_static_analysis.sh: no compile_commands.json (configure the tidy" \
+         "preset first: cmake --preset tidy)" >&2
+    exit 2
+  fi
+  echo "== clang-tidy (database: ${BUILD_DIR}) =="
+  # Library sources only: benches/examples are covered by the tree-wide
+  # warning wall; clang-tidy's deep checks target the long-lived core.
+  mapfile -t TIDY_SOURCES < <(find "${REPO_ROOT}/src" -name '*.cpp' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "${BUILD_DIR}" "${TIDY_SOURCES[@]}" || rc=1
+  else
+    clang-tidy --quiet -p "${BUILD_DIR}" "${TIDY_SOURCES[@]}" || rc=1
+  fi
+fi
+
+if [[ ${rc} -eq 0 ]]; then
+  echo "static analysis: clean"
+else
+  echo "static analysis: FINDINGS (see above)" >&2
+fi
+exit "${rc}"
