@@ -16,6 +16,7 @@ using namespace r4ncl;
 int main(int argc, char** argv) {
   Config cfg = Config::from_args(argc, argv);
   core::validate_standard_keys(cfg);
+  const core::ScopedMetrics metrics(cfg);
   if (!cfg.get("scale")) cfg.set("scale", "0.5");
   init_log_level_from_env();
   init_threads_from_env();

@@ -17,6 +17,7 @@
 #include <initializer_list>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "core/experiment.hpp"
 #include "util/csv.hpp"
@@ -27,6 +28,25 @@ namespace r4ncl::bench {
 struct BenchContext {
   Config cfg;
   core::PretrainedScenario scenario;
+  /// Telemetry knobs (metrics_out=, trace=) as armed by make_context().
+  core::MetricsOptions metrics;
+
+  BenchContext(Config cfg_in, core::PretrainedScenario scenario_in,
+               core::MetricsOptions metrics_in)
+      : cfg(std::move(cfg_in)), scenario(std::move(scenario_in)),
+        metrics(std::move(metrics_in)) {}
+  BenchContext(const BenchContext&) = delete;
+  BenchContext& operator=(const BenchContext&) = delete;
+  BenchContext(BenchContext&& other) noexcept
+      : cfg(std::move(other.cfg)), scenario(std::move(other.scenario)),
+        metrics(std::move(other.metrics)) {
+    // The moved-from context must not also write the snapshot at scope exit.
+    other.metrics.out_path.clear();
+  }
+  BenchContext& operator=(BenchContext&&) = delete;
+  /// End-of-bench hook: writes the metrics_out= registry snapshot, so every
+  /// bench binary exports telemetry without per-bench wiring.
+  ~BenchContext() { core::write_metrics_snapshot(metrics); }
 
   /// CL epoch count: bench default, overridable via epochs=N.
   [[nodiscard]] std::size_t epochs(std::size_t fallback) const {

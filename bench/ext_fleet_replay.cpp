@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
   core::validate_standard_keys(cfg,
                                {"streams", "adds", "channels", "timesteps", "reps",
                                 "capacity_entries"});
+  const core::ScopedMetrics metrics(cfg);
   init_log_level_from_env();
   init_threads_from_env();
   const std::size_t streams = static_cast<std::size_t>(cfg.get_int("streams", 8));

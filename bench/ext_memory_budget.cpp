@@ -66,6 +66,7 @@ std::size_t probe_entry_bytes(const compress::CodecConfig& codec, std::size_t ti
 int main(int argc, char** argv) {
   Config cfg = Config::from_args(argc, argv);
   core::validate_standard_keys(cfg, {"tasks", "replay_per_task", "spiking_lr"});
+  const core::ScopedMetrics metrics(cfg);
   init_log_level_from_env();
   init_threads_from_env();
   const std::size_t num_tasks = static_cast<std::size_t>(cfg.get_int("tasks", 4));

@@ -16,6 +16,7 @@ using namespace r4ncl;
 int main(int argc, char** argv) {
   Config cfg = Config::from_args(argc, argv);
   core::validate_standard_keys(cfg, {"tasks"});
+  const core::ScopedMetrics metrics(cfg);
   init_log_level_from_env();
   init_threads_from_env();
   const std::size_t num_tasks = static_cast<std::size_t>(cfg.get_int("tasks", 4));

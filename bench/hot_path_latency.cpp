@@ -121,6 +121,7 @@ int main(int argc, char** argv) {
   Config cfg = Config::from_args(argc, argv);
   core::validate_standard_keys(
       cfg, {"batch", "channels", "entries", "n_out", "reps", "strict", "timesteps"});
+  const core::ScopedMetrics metrics(cfg);
   init_log_level_from_env();
   init_threads_from_env();
   if (const long long threads = cfg.get_int("threads", 0); threads > 0) {

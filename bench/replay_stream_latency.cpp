@@ -83,6 +83,7 @@ void scalar_unpack(const compress::PackedRaster& packed, data::SpikeRaster& out)
 int main(int argc, char** argv) {
   Config cfg = Config::from_args(argc, argv);
   core::validate_standard_keys(cfg, {"entries", "channels", "timesteps", "draws", "reps"});
+  const core::ScopedMetrics metrics(cfg);
   init_log_level_from_env();
   init_threads_from_env();
   const std::size_t entries = static_cast<std::size_t>(cfg.get_int("entries", 192));

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/checkpoint.hpp"
+#include "core/experiment.hpp"
 #include "core/latent_buffer.hpp"
 #include "core/pretrain.hpp"
 #include "core/sequential.hpp"
@@ -196,8 +197,9 @@ int run_drill(const metrics::ChipBudget& chip) {
 
 int run_main(int argc, char** argv) {
   const Config cfg = Config::from_args(argc, argv);
-  const std::string_view known[] = {"drill"};
+  const std::string_view known[] = {"drill", "metrics_out", "trace"};
   cfg.validate_keys(known);
+  const core::ScopedMetrics metrics(cfg);
 
   const snn::SnnNetwork net{snn::NetworkConfig{}};
   const metrics::ChipBudget chip;  // Loihi-class defaults

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   // --- 1: dataset + network + pre-training (checkpoint-cached) -----------
   Config cfg = Config::from_args(argc, argv);
   core::validate_standard_keys(cfg);
+  const core::ScopedMetrics metrics(cfg);
   if (!cfg.get("scale")) cfg.set("scale", "0.5");
   core::PretrainedScenario scenario = core::standard_scenario(cfg);
   std::printf("pre-trained on %zu old classes: test accuracy %.1f%%\n",

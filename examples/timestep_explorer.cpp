@@ -33,6 +33,7 @@ std::vector<std::size_t> parse_list(const std::string& csv) {
 int main(int argc, char** argv) {
   const Config cfg = Config::from_args(argc, argv);
   core::validate_standard_keys(cfg, {"timesteps"});
+  const core::ScopedMetrics metrics(cfg);
   Config scaled = cfg;
   if (!cfg.get("scale")) scaled.set("scale", "0.5");
   core::PretrainedScenario scenario = core::standard_scenario(scaled);

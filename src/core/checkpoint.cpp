@@ -1,5 +1,7 @@
 #include "core/checkpoint.hpp"
 
+#include "obs/metrics.hpp"
+
 #include "util/error.hpp"
 #include "util/serialize.hpp"
 
@@ -267,6 +269,8 @@ CheckpointMeta make_checkpoint_meta(CheckpointKind kind, const NclMethodConfig& 
 void save_checkpoint(const std::string& path, const Checkpoint& ck,
                      const snn::SnnNetwork& net, const snn::AdamOptimizer* optimizer,
                      const ShardedReplayEngine& engine) {
+  obs::metrics().counter("checkpoint.saves").add(1);
+  obs::TraceSpan save_span(obs::metrics(), "checkpoint.save_seconds");
   BinaryWriter out(path);
   out.write_tag(kFileTag);
   out.write_u32(kVersion);
@@ -287,6 +291,8 @@ void save_checkpoint(const std::string& path, const Checkpoint& ck,
 Checkpoint load_checkpoint(const std::string& path, const CheckpointMeta& expected,
                            snn::SnnNetwork& net, snn::AdamOptimizer* optimizer,
                            ShardedReplayEngine& engine) {
+  obs::metrics().counter("checkpoint.loads").add(1);
+  obs::TraceSpan load_span(obs::metrics(), "checkpoint.load_seconds");
   BinaryReader in(path);
   in.expect_tag(kFileTag);
   const std::uint32_t version = in.read_u32();

@@ -6,6 +6,7 @@
 #include "core/latent_source.hpp"
 #include "core/replay_stream.hpp"
 #include "core/sharded_engine.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -147,6 +148,8 @@ ClRunResult run_continual_learning(snn::SnnNetwork& net,
   result.rows.reserve(config.epochs);
   std::size_t completed_here = 0;
   for (std::size_t epoch = first_epoch; epoch < config.epochs; ++epoch) {
+    obs::metrics().counter("core.cl_epochs").add(1);
+    obs::TraceSpan epoch_span(obs::metrics(), "core.cl_epoch_seconds");
     Stopwatch epoch_watch;
     ClEpochRow row;
     row.epoch = epoch;

@@ -1,8 +1,10 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -60,7 +62,18 @@ NclMethodConfig bench_replay4ncl(std::size_t timesteps) {
 
 NclMethodConfig bench_spiking_lr() { return NclMethodConfig::spiking_lr(); }
 
-void apply_replay_overrides(NclMethodConfig& method, const Config& cfg) {
+namespace {
+
+// ---- The declarative CLI knob table ---------------------------------------
+// Each replay-method knob's parse + eager validation lives in one small
+// function; the table below binds it to the knob's name and help text.
+// Scenario/checkpoint/telemetry knobs keep their own readers and appear
+// here with apply = nullptr so the key vocabulary still has one source of
+// truth.  Every value validates eagerly with a pinned message naming the
+// valid set — a typo in a sweep config must fail before any pre-training
+// or task runs, not at the first task boundary.
+
+void apply_budget(NclMethodConfig& method, const Config& cfg) {
   // Negative values would wrap through static_cast<std::size_t> into
   // ~SIZE_MAX (an accidental "unbounded" budget / draw) — reject them.
   const long long budget = cfg.get_int(
@@ -68,36 +81,48 @@ void apply_replay_overrides(NclMethodConfig& method, const Config& cfg) {
   R4NCL_CHECK(budget >= 0,
               "budget=" << budget << " must be a non-negative byte count (0 = unbounded)");
   method.replay_budget.capacity_bytes = static_cast<std::size_t>(budget);
-  if (const auto policy = cfg.get("policy")) {
-    method.replay_budget.policy = parse_replay_policy(*policy);
+}
+
+void apply_budget_schedule(NclMethodConfig& method, const Config& cfg) {
+  if (const auto schedule = cfg.get("budget_schedule")) {
+    method.budget_schedule = parse_budget_schedule(*schedule);
   }
-  const long long samples = cfg.get_int(
-      "replay_samples", static_cast<long long>(method.replay_samples_per_epoch));
-  R4NCL_CHECK(samples >= 0, "replay_samples=" << samples
-                                              << " must be a non-negative entry count "
-                                                 "(0 = full materialize)");
-  method.replay_samples_per_epoch = static_cast<std::size_t>(samples);
+}
+
+void apply_importance_feedback(NclMethodConfig& method, const Config& cfg) {
+  method.importance_feedback =
+      cfg.get_bool("importance_feedback", method.importance_feedback);
+}
+
+void apply_latent_bits(NclMethodConfig& method, const Config& cfg) {
   const long long bits = cfg.get_int(
       "latent_bits", static_cast<long long>(method.storage_codec.latent_bits));
   R4NCL_CHECK(bits == 0 || (bits > 0 && bits <= 8 &&
                             compress::valid_payload_bits(static_cast<unsigned>(bits))),
               "latent_bits=" << bits << " (expected 0|1|2|4|8)");
   method.storage_codec.latent_bits = static_cast<std::uint8_t>(bits);
-  method.replay_stream = cfg.get_bool("replay_stream", method.replay_stream);
-  method.prefetch = cfg.get_bool("prefetch", method.prefetch);
-  // threads= is applied process-wide by standard_scenario; recording it on
-  // the method too lets the run engines re-assert it (library callers that
-  // never go through standard_scenario get the same knob).
-  const long long threads = cfg.get_int("threads", static_cast<long long>(method.threads));
-  R4NCL_CHECK(threads >= 0, "threads=" << threads
-                                       << " must be a non-negative worker count (0 = default)");
-  method.threads = static_cast<int>(threads);
-  // The schedule/seed knobs validate eagerly, at parse time: a typo in a
-  // sweep config must fail before any pre-training or task runs, not at the
-  // first task boundary (or, for the seed, never visibly at all).
-  if (const auto schedule = cfg.get("budget_schedule")) {
-    method.budget_schedule = parse_budget_schedule(*schedule);
+}
+
+void apply_policy(NclMethodConfig& method, const Config& cfg) {
+  if (const auto policy = cfg.get("policy")) {
+    method.replay_budget.policy = parse_replay_policy(*policy);
   }
+}
+
+void apply_prefetch(NclMethodConfig& method, const Config& cfg) {
+  method.prefetch = cfg.get_bool("prefetch", method.prefetch);
+}
+
+void apply_replay_samples(NclMethodConfig& method, const Config& cfg) {
+  const long long samples = cfg.get_int(
+      "replay_samples", static_cast<long long>(method.replay_samples_per_epoch));
+  R4NCL_CHECK(samples >= 0, "replay_samples=" << samples
+                                              << " must be a non-negative entry count "
+                                                 "(0 = full materialize)");
+  method.replay_samples_per_epoch = static_cast<std::size_t>(samples);
+}
+
+void apply_replay_seed(NclMethodConfig& method, const Config& cfg) {
   if (const auto seed_text = cfg.get("replay_seed")) {
     // Strict decimal parse (get_int would map "abc" to the fallback and
     // "0xdeadbeef" to 0, silently running the wrong seed); also admits the
@@ -108,17 +133,102 @@ void apply_replay_overrides(NclMethodConfig& method, const Config& cfg) {
                                << " must be a non-negative eviction seed");
     method.replay_budget.seed = seed;
   }
-  method.importance_feedback =
-      cfg.get_bool("importance_feedback", method.importance_feedback);
-  // Sharding knobs (ShardedReplayEngine): shards=1 keeps runs bit-identical
-  // to the single-buffer era; both validate eagerly like the knobs above.
+}
+
+void apply_replay_stream(NclMethodConfig& method, const Config& cfg) {
+  method.replay_stream = cfg.get_bool("replay_stream", method.replay_stream);
+}
+
+void apply_shard_by(NclMethodConfig& method, const Config& cfg) {
+  if (const auto shard_by = cfg.get("shard_by")) {
+    method.replay_sharding.shard_by = parse_shard_key(*shard_by);
+  }
+}
+
+void apply_shards(NclMethodConfig& method, const Config& cfg) {
+  // shards=1 keeps runs bit-identical to the single-buffer era.
   const long long shards =
       cfg.get_int("shards", static_cast<long long>(method.replay_sharding.shards));
   R4NCL_CHECK(shards >= 1, "shards=" << shards << " must be a positive shard count");
   method.replay_sharding.shards = static_cast<std::size_t>(shards);
-  if (const auto shard_by = cfg.get("shard_by")) {
-    method.replay_sharding.shard_by = parse_shard_key(*shard_by);
+}
+
+void apply_threads(NclMethodConfig& method, const Config& cfg) {
+  // threads= is applied process-wide by standard_scenario; recording it on
+  // the method too lets the run engines re-assert it (library callers that
+  // never go through standard_scenario get the same knob).
+  const long long threads = cfg.get_int("threads", static_cast<long long>(method.threads));
+  R4NCL_CHECK(threads >= 0, "threads=" << threads
+                                       << " must be a non-negative worker count (0 = default)");
+  method.threads = static_cast<int>(threads);
+}
+
+// Sorted by name: standard_cli_keys() returns this column order verbatim,
+// and validate_keys error messages list keys sorted.
+constexpr CliKnob kStandardKnobs[] = {
+    {"budget", "replay-buffer byte budget (0 = unbounded)", apply_budget},
+    {"budget_schedule",
+     "per-task budget evolution: const | linear:<start>:<end> | step:<task>:<bytes>",
+     apply_budget_schedule},
+    {"cache", "reuse the on-disk pre-trained scenario cache (default 1)", nullptr},
+    {"cache_dir", "directory holding the pre-trained scenario cache (default .)", nullptr},
+    {"checkpoint", "write a run checkpoint at every cadence boundary to this path", nullptr},
+    {"checkpoint_every", "checkpoint save cadence in completed tasks/epochs (>= 1)", nullptr},
+    {"epochs", "continual-learning epoch count (bench default when absent)", nullptr},
+    {"importance_feedback",
+     "feed per-sample replay errors back into importance scores (importance policies only)",
+     apply_importance_feedback},
+    {"latent_bits", "stored payload depth: 0 = legacy binary, 1/2/4/8 = quantized counts",
+     apply_latent_bits},
+    {"metrics_out", "write the telemetry registry snapshot (JSON) to this path", nullptr},
+    {"policy",
+     "eviction policy: fifo | reservoir | class_balanced | low_importance | "
+     "importance_class_balanced",
+     apply_policy},
+    {"prefetch", "decode the next minibatch on a background thread (bit-identical)",
+     apply_prefetch},
+    {"pretrain_epochs", "pre-training epoch count (default 8)", nullptr},
+    {"replay_samples", "per-epoch sample(k) draw (0 = full materialize)",
+     apply_replay_samples},
+    {"replay_seed", "the buffer's private eviction-stream seed", apply_replay_seed},
+    {"replay_stream", "stream the per-epoch draw through a ReplayStream (0|1)",
+     apply_replay_stream},
+    {"resume", "restore a prior checkpoint from this path before any unit runs", nullptr},
+    {"scale", "dataset sample-count scale (1.0 = paper-faithful counts)", nullptr},
+    {"shard_by", "shard routing key for adds: class | hash", apply_shard_by},
+    {"shards", "replay-store shard count (1 = bit-identical single-buffer)", apply_shards},
+    {"threads", "worker count the run engines assert at run start (0 = default)",
+     apply_threads},
+    {"trace", "wall-clock trace histograms in the metrics registry (default 1)", nullptr},
+    {"verbose", "per-epoch progress logging (0|1)", nullptr},
+};
+
+}  // namespace
+
+std::span<const CliKnob> standard_cli_knobs() { return kStandardKnobs; }
+
+void apply_replay_overrides(NclMethodConfig& method, const Config& cfg) {
+  for (const CliKnob& knob : kStandardKnobs) {
+    if (knob.apply != nullptr) knob.apply(method, cfg);
   }
+}
+
+MetricsOptions init_metrics(const Config& cfg) {
+  MetricsOptions options;
+  options.out_path = cfg.get_string("metrics_out", "");
+  options.trace = cfg.get_bool("trace", true);
+  // Arm only on explicit request: a disarmed registry keeps plain runs on
+  // the pre-telemetry fast path (and bit-identical to it, pinned by tests).
+  const bool arm = !options.out_path.empty() || cfg.get("trace").has_value();
+  obs::MetricsRegistry& registry = obs::metrics();
+  registry.set_trace(options.trace);
+  registry.set_armed(arm);
+  return options;
+}
+
+void write_metrics_snapshot(const MetricsOptions& options) {
+  if (options.out_path.empty()) return;
+  obs::write_snapshot(obs::metrics(), options.out_path);
 }
 
 CheckpointOptions checkpoint_options_from(const Config& cfg) {
@@ -135,13 +245,10 @@ CheckpointOptions checkpoint_options_from(const Config& cfg) {
 }
 
 std::vector<std::string_view> standard_cli_keys() {
-  return {"budget",          "budget_schedule",     "cache",
-          "cache_dir",       "checkpoint",          "checkpoint_every",
-          "epochs",          "importance_feedback", "latent_bits",
-          "policy",          "prefetch",            "pretrain_epochs",
-          "replay_samples",  "replay_seed",         "replay_stream",
-          "resume",          "scale",               "shard_by",
-          "shards",          "threads",             "verbose"};
+  std::vector<std::string_view> keys;
+  keys.reserve(std::size(kStandardKnobs));
+  for (const CliKnob& knob : kStandardKnobs) keys.push_back(knob.name);
+  return keys;
 }
 
 void validate_standard_keys(const Config& cfg,

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,34 +44,64 @@ PretrainedScenario standard_scenario(const Config& cfg);
 NclMethodConfig bench_replay4ncl(std::size_t timesteps = 40);
 NclMethodConfig bench_spiking_lr();
 
-/// Applies the replay-budget CLI knobs to a method config:
-///   budget=<bytes>          replay-buffer byte budget (0 = unbounded)
-///   policy=<name>           fifo | reservoir | class_balanced |
-///                           low_importance | importance_class_balanced
-///   budget_schedule=<spec>  per-task budget evolution: const |
-///                           linear:<start>:<end> | step:<task>:<bytes>
-///   replay_samples=<k>      per-epoch sample(k) draw (0 = full materialize)
-///   latent_bits=<b>         stored payload depth: 0 = legacy binary,
-///                           1/2/4/8 = quantized group counts
-///   replay_stream=<0|1>     stream the per-epoch draw through a
-///                           ReplayStream fused into batch assembly
-///   prefetch=<0|1>          decode the next training minibatch on a
-///                           background thread while the current one trains
-///                           (bit-identical either way)
-///   threads=<n>             worker count the run engines assert at run
-///                           start (0 = leave the process setting; also
-///                           applied globally by standard_scenario)
-///   replay_seed=<n>         the buffer's private eviction-stream seed
-///   importance_feedback=<0|1>  feed per-sample replay errors back into the
-///                           importance scores (importance policies only)
-///   shards=<n>              replay-store shard count (ShardedReplayEngine;
-///                           1 = bit-identical single-buffer behaviour)
-///   shard_by=<class|hash>   shard routing key for adds
-/// Keys absent from `cfg` (and the R4NCL_* environment) leave the method's
-/// own defaults untouched.  Every value validates eagerly with a pinned
-/// message naming the valid set — negative bytes/counts/seeds, policy
-/// typos and malformed schedules all throw before any training runs.
+/// One row of the standard CLI knob table: the knob's key, its one-line help
+/// text, and — for replay-method knobs — the override that parses, validates
+/// and applies it to an NclMethodConfig.  Scenario, checkpoint and telemetry
+/// knobs are parsed by their own readers (pretrain_config_from,
+/// checkpoint_options_from, init_metrics) and carry a null `apply`.
+struct CliKnob {
+  std::string_view name;
+  std::string_view help;
+  void (*apply)(NclMethodConfig&, const Config&) = nullptr;
+};
+
+/// The declarative knob table every standard bench/example shares, sorted by
+/// name.  standard_cli_keys() and apply_replay_overrides() both derive from
+/// it, so a new knob registers exactly once: add a row here and it is
+/// simultaneously parsed, validated and listed in unknown-key errors.
+[[nodiscard]] std::span<const CliKnob> standard_cli_knobs();
+
+/// Applies every replay-method knob in standard_cli_knobs() to `method`
+/// (budget, policy, budget_schedule, replay_samples, latent_bits,
+/// replay_stream, prefetch, threads, replay_seed, importance_feedback,
+/// shards, shard_by — see each row's `help` for semantics).  Keys absent
+/// from `cfg` (and the R4NCL_* environment) leave the method's own defaults
+/// untouched.  Every value validates eagerly with a pinned message naming
+/// the valid set — negative bytes/counts/seeds, policy typos and malformed
+/// schedules all throw before any training runs.
 void apply_replay_overrides(NclMethodConfig& method, const Config& cfg);
+
+/// Telemetry knobs as read by init_metrics().
+struct MetricsOptions {
+  std::string out_path;  ///< metrics_out= destination; empty = no snapshot.
+  bool trace = true;     ///< trace= — wall-clock histograms in the registry.
+};
+
+/// Reads the telemetry CLI knobs and arms the process-wide registry:
+///   metrics_out=<path>  write the obs::MetricsRegistry snapshot (JSON) here
+///   trace=<0|1>         include wall-clock trace histograms (default 1)
+/// The registry arms only when metrics_out= or trace= is given, so plain
+/// runs keep the disarmed (bit-identical, near-zero-cost) fast path.  Call
+/// it once, right after Config::from_args; pass the result to
+/// write_metrics_snapshot() when the run finishes.
+[[nodiscard]] MetricsOptions init_metrics(const Config& cfg);
+
+/// Writes the registry snapshot to options.out_path (no-op when empty).
+void write_metrics_snapshot(const MetricsOptions& options);
+
+/// RAII wrapper over init_metrics()/write_metrics_snapshot(): arms the
+/// registry from `cfg` at construction and writes the metrics_out= snapshot
+/// at scope exit — one line in an example main covers every return path.
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(const Config& cfg) : options_(init_metrics(cfg)) {}
+  ~ScopedMetrics() { write_metrics_snapshot(options_); }
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  MetricsOptions options_;
+};
 
 /// Reads the checkpoint/resume CLI knobs:
 ///   checkpoint=<path>        write a checkpoint at every cadence boundary
@@ -80,10 +111,12 @@ void apply_replay_overrides(NclMethodConfig& method, const Config& cfg);
 /// cadence given without checkpoint= both throw before any training runs.
 [[nodiscard]] CheckpointOptions checkpoint_options_from(const Config& cfg);
 
-/// The CLI vocabulary every standard bench/example understands: the scenario
-/// knobs read by pretrain_config_from()/standard_scenario() (scale,
-/// pretrain_epochs, threads, cache, cache_dir, verbose), the shared CL epoch
-/// count (epochs), and the replay knobs of apply_replay_overrides().
+/// The CLI vocabulary every standard bench/example understands — the `name`
+/// column of standard_cli_knobs(): the scenario knobs read by
+/// pretrain_config_from()/standard_scenario() (scale, pretrain_epochs,
+/// threads, cache, cache_dir, verbose), the shared CL epoch count (epochs),
+/// the checkpoint/resume knobs, the telemetry knobs (metrics_out, trace),
+/// and the replay knobs of apply_replay_overrides().
 [[nodiscard]] std::vector<std::string_view> standard_cli_keys();
 
 /// Rejects unrecognized CLI keys: throws Error (naming the offending key and

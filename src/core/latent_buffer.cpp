@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/config.hpp"
 #include "util/error.hpp"
 
@@ -145,7 +146,13 @@ LatentReplayBuffer::LatentReplayBuffer(const compress::CodecConfig& codec,
     : codec_(codec), activation_timesteps_(activation_timesteps), budget_(budget),
       rng_(budget.seed),
       uses_class_queues_(budget.policy == ReplayPolicy::kClassBalanced ||
-                         budget.policy == ReplayPolicy::kImportanceClassBalanced) {
+                         budget.policy == ReplayPolicy::kImportanceClassBalanced),
+      obs_adds_(&obs::metrics().counter("replay_buffer.adds")),
+      obs_evictions_(&obs::metrics().counter("replay_buffer.evictions")),
+      obs_policy_evictions_(&obs::metrics().counter(
+          std::string("replay_buffer.evictions.") + std::string(to_string(budget.policy)))),
+      obs_decompress_bits_(&obs::metrics().counter("replay_buffer.decompress_bits")),
+      obs_restored_(&obs::metrics().counter("replay_buffer.restored_entries")) {
   R4NCL_CHECK(activation_timesteps > 0, "activation_timesteps must be positive");
   R4NCL_CHECK(codec.ratio >= 1, "codec ratio must be >= 1");
   R4NCL_CHECK(codec.latent_bits == 0 || compress::valid_payload_bits(codec.latent_bits),
@@ -177,6 +184,7 @@ bool LatentReplayBuffer::add(const data::SpikeRaster& raster, std::int32_t label
   entry.density = static_cast<float>(raster.density());
   const std::size_t bytes = entry_bytes(entry);
   ++stream_seen_;
+  obs_adds_->add(1);
 
   const std::size_t capacity = budget_.capacity_bytes;
   if (capacity > 0) {
@@ -190,7 +198,7 @@ bool LatentReplayBuffer::add(const data::SpikeRaster& raster, std::int32_t label
         // entries share one geometry, so one eviction always makes room.
         const std::uint64_t j = rng_.uniform_index(stream_seen_);
         if (j >= size()) {
-          ++evictions_;  // the incoming entry is the one displaced
+          note_eviction();  // the incoming entry is the one displaced
           return false;
         }
         evict_at(static_cast<std::size_t>(j));
@@ -206,7 +214,7 @@ bool LatentReplayBuffer::add(const data::SpikeRaster& raster, std::int32_t label
         const std::size_t victim = least_important_victim();
         const Entry& least = entry_at(victim);
         if (!least.outcome_valid && entry.density < least.density) {
-          ++evictions_;
+          note_eviction();
           return false;
         }
         evict_at(victim);
@@ -294,7 +302,13 @@ void LatentReplayBuffer::evict_at(std::size_t index) {
       }
     }
   }
+  note_eviction();
+}
+
+void LatentReplayBuffer::note_eviction() noexcept {
   ++evictions_;
+  obs_evictions_->add(1);
+  obs_policy_evictions_->add(1);
 }
 
 std::int32_t LatentReplayBuffer::heaviest_class(const std::int32_t* incoming) const {
@@ -406,8 +420,10 @@ void LatentReplayBuffer::charge_decompress(const Entry& e, snn::SpikeOpStats* st
   // Codec entries charge their dequantization/re-expansion work per payload
   // bit, so narrower latent_bits shrink both storage and decompress cost
   // proportionally; raw 1-bit storage (ratio 1, no quantizer) stays free.
-  if (stats != nullptr && (codec_.ratio > 1 || codec_.quantized())) {
-    stats->decompress_bits += static_cast<std::uint64_t>(e.packed.payload_bytes()) * 8u;
+  if (codec_.ratio > 1 || codec_.quantized()) {
+    const std::uint64_t bits = static_cast<std::uint64_t>(e.packed.payload_bytes()) * 8u;
+    obs_decompress_bits_->add(bits);
+    if (stats != nullptr) stats->decompress_bits += bits;
   }
 }
 
@@ -600,6 +616,10 @@ void LatentReplayBuffer::load(BinaryReader& in) {
   memory_bytes_ = static_cast<std::size_t>(memory_bytes);
   stream_seen_ = static_cast<std::size_t>(stream_seen);
   evictions_ = static_cast<std::size_t>(evictions);
+  // Registry counters track *live* events only; checkpoint-restored entries
+  // are counted separately so the evictions <= adds + restored_entries
+  // cross-invariant (tools/check_bench.py) survives a warm resume.
+  obs_restored_->add(entries.size());
   rng_.restore(rng);
   slots_ = std::move(entries);
   free_slots_.clear();

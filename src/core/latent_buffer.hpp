@@ -53,6 +53,10 @@
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
 
+namespace r4ncl::obs {
+class Counter;
+}  // namespace r4ncl::obs
+
 namespace r4ncl::core {
 
 class ReplayStream;
@@ -220,10 +224,15 @@ class LatentReplayBuffer : public ReplayEntrySource {
   /// byte-identical buffer on every run.
   void set_capacity(std::size_t new_capacity_bytes);
 
-  /// Entries offered to add() over the buffer's lifetime.
+  /// Entries offered to add() over the buffer's lifetime.  Per-instance
+  /// compatibility shim: the process-wide aggregate of the same event stream
+  /// is the `replay_buffer.adds` counter in obs::MetricsRegistry::snapshot().
   [[nodiscard]] std::size_t stream_seen() const noexcept { return stream_seen_; }
   /// Entries displaced by the budget (stored entries evicted + incoming
-  /// entries the reservoir rejected).
+  /// entries the reservoir rejected).  Per-instance compatibility shim over
+  /// the same events the registry aggregates as `replay_buffer.evictions`
+  /// (and per-policy as `replay_buffer.evictions.<policy>`) — new telemetry
+  /// consumers should read obs::MetricsRegistry::snapshot() instead.
   [[nodiscard]] std::size_t evictions() const noexcept { return evictions_; }
 
   /// Occupancy per class, sorted by label ascending; counts sum to size().
@@ -231,6 +240,8 @@ class LatentReplayBuffer : public ReplayEntrySource {
 
   /// Total storage footprint in bytes (payload + per-sample headers).
   /// Maintained incrementally, so the budget check in add() is O(1).
+  /// Fleet-wide occupancy is published by ShardedReplayEngine as the
+  /// `replay_engine.shard<i>.occupancy_bytes` gauges in the obs registry.
   [[nodiscard]] std::size_t memory_bytes() const noexcept { return memory_bytes_; }
 
   /// Decompresses the whole buffer into a replay dataset (A_LR in Alg. 1).
@@ -396,6 +407,9 @@ class LatentReplayBuffer : public ReplayEntrySource {
   /// branch happens in add() before this runs.
   void evict_until_fits(std::size_t capacity, std::size_t bytes,
                         const std::int32_t* incoming);
+  /// Bumps evictions_ and the registry's total + per-policy eviction
+  /// counters — the one place a displacement (stored or incoming) is counted.
+  void note_eviction() noexcept;
 
   compress::CodecConfig codec_;
   std::size_t activation_timesteps_;
@@ -425,6 +439,14 @@ class LatentReplayBuffer : public ReplayEntrySource {
   /// Only maintained when uses_class_queues_.
   std::vector<std::uint32_t> order_pos_;
   bool uses_class_queues_ = false;
+  /// Registry handles (obs::metrics()), resolved once at construction.
+  /// Observation-only: a disarmed registry turns every add() into a relaxed
+  /// load, so instrumented and bare buffers behave bit-identically.
+  obs::Counter* obs_adds_;
+  obs::Counter* obs_evictions_;
+  obs::Counter* obs_policy_evictions_;
+  obs::Counter* obs_decompress_bits_;
+  obs::Counter* obs_restored_;
 };
 
 }  // namespace r4ncl::core

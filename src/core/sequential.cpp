@@ -6,6 +6,7 @@
 #include "core/latent_source.hpp"
 #include "core/replay_stream.hpp"
 #include "core/sharded_engine.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -117,6 +118,8 @@ SequentialRunResult run_sequential(snn::SnnNetwork& net, const data::SequentialT
       method.importance_feedback && is_importance_policy(method.replay_budget.policy);
   std::size_t completed_here = 0;
   for (std::size_t task = first_task; task < tasks.task_classes.size(); ++task) {
+    obs::metrics().counter("core.tasks").add(1);
+    obs::TraceSpan task_span(obs::metrics(), "core.task_seconds");
     SequentialTaskRow row;
     row.task_index = task;
     row.class_id = tasks.task_classes[task];

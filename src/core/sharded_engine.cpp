@@ -4,7 +4,9 @@
 #include <map>
 
 #include "core/replay_stream.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace r4ncl::core {
 
@@ -54,6 +56,30 @@ ShardedReplayEngine::ShardedReplayEngine(const compress::CodecConfig& codec,
     shard_budget.seed = budget.seed ^ (static_cast<std::uint64_t>(i) * kShardSeedMix);
     shards_.push_back(std::make_unique<Shard>(codec, activation_timesteps, shard_budget));
   }
+  // Telemetry handles are resolved eagerly so the armed hot path never takes
+  // the registry lock; while disarmed every publish below is a no-op.
+  obs::MetricsRegistry& reg = obs::metrics();
+  obs_adds_ = &reg.counter("replay_engine.adds");
+  obs_capacity_ = &reg.gauge("replay_engine.capacity_bytes");
+  obs_lock_wait_ =
+      &reg.histogram("replay_engine.lock_wait_seconds", obs::kLatencyEdgesSeconds);
+  shard_obs_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::string prefix = "replay_engine.shard" + std::to_string(i) + ".";
+    shard_obs_.push_back({&reg.counter(prefix + "adds"), &reg.gauge(prefix + "evictions"),
+                          &reg.gauge(prefix + "occupancy_bytes"),
+                          &reg.gauge(prefix + "capacity_bytes")});
+    shard_obs_[i].capacity_bytes->set(
+        static_cast<double>(shard_capacity(budget.capacity_bytes, i)));
+  }
+  obs_capacity_->set(static_cast<double>(capacity_bytes_));
+}
+
+void ShardedReplayEngine::publish_shard_gauges(std::size_t i,
+                                               const LatentReplayBuffer& buffer) const {
+  const ShardTelemetry& t = shard_obs_[i];
+  t.occupancy_bytes->set(static_cast<double>(buffer.memory_bytes()));
+  t.evictions->set(static_cast<double>(buffer.evictions()));
 }
 
 std::size_t ShardedReplayEngine::shard_capacity(std::size_t total,
@@ -76,9 +102,26 @@ std::size_t ShardedReplayEngine::shard_of(const data::SpikeRaster& raster,
 }
 
 bool ShardedReplayEngine::add(const data::SpikeRaster& raster, std::int32_t label) {
-  Shard& sh = *shards_[shard_of(raster, label)];
+  const std::size_t idx = shard_of(raster, label);
+  Shard& sh = *shards_[idx];
+  obs::MetricsRegistry& reg = obs::metrics();
+  if (!reg.armed()) {  // cold path: exactly the pre-telemetry code
+    MutexLock lock(sh.mu);
+    return sh.buffer.add(raster, label);
+  }
+  // Armed path: same work plus counter/gauge/timer writes — no rng use, no
+  // control-flow change, so enabled ≡ disabled bit-identity holds (pinned by
+  // tests/test_obs.cpp).  The wait clock spans the MutexLock acquisition:
+  // that *is* the per-shard lock contention the fleet view wants.
+  const bool timed = reg.trace_armed();
+  Stopwatch wait;
   MutexLock lock(sh.mu);
-  return sh.buffer.add(raster, label);
+  if (timed) obs_lock_wait_->record(wait.elapsed_seconds());
+  const bool stored = sh.buffer.add(raster, label);
+  obs_adds_->add(1);
+  shard_obs_[idx].adds->add(1);
+  publish_shard_gauges(idx, sh.buffer);
+  return stored;
 }
 
 const LatentReplayBuffer& ShardedReplayEngine::shard(std::size_t i) const {
@@ -163,10 +206,14 @@ void ShardedReplayEngine::report_outcome(std::size_t index, float score) {
 
 void ShardedReplayEngine::set_capacity(std::size_t new_capacity_bytes) {
   capacity_bytes_ = new_capacity_bytes;
+  obs_capacity_->set(static_cast<double>(new_capacity_bytes));
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& sh = *shards_[i];
     MutexLock lock(sh.mu);
     sh.buffer.set_capacity(shard_capacity(new_capacity_bytes, i));
+    shard_obs_[i].capacity_bytes->set(
+        static_cast<double>(shard_capacity(new_capacity_bytes, i)));
+    publish_shard_gauges(i, sh.buffer);
   }
 }
 
@@ -281,11 +328,17 @@ void ShardedReplayEngine::load(BinaryReader& in) {
                                                               << ", this engine by "
                                                               << to_string(sharding_.shard_by));
   const std::uint64_t capacity = in.read_u64();
-  for (const auto& sh : shards_) {
-    MutexLock lock(sh->mu);
-    sh->buffer.load(in);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& sh = *shards_[i];
+    MutexLock lock(sh.mu);
+    sh.buffer.load(in);
+    // Re-publish the restored occupancy/budget so a warm resume's first
+    // snapshot reflects the loaded state, not the empty pre-load engine.
+    shard_obs_[i].capacity_bytes->set(static_cast<double>(sh.buffer.capacity_bytes()));
+    publish_shard_gauges(i, sh.buffer);
   }
   capacity_bytes_ = static_cast<std::size_t>(capacity);
+  obs_capacity_->set(static_cast<double>(capacity_bytes_));
 }
 
 }  // namespace r4ncl::core

@@ -48,6 +48,12 @@
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 
+namespace r4ncl::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace r4ncl::obs
+
 namespace r4ncl::core {
 
 /// How adds are routed to shards.
@@ -133,7 +139,11 @@ class ShardedReplayEngine : public ReplayEntrySource {
   /// buffer would — shards=1 reproduces BudgetSchedule runs bit-identically.
   void set_capacity(std::size_t new_capacity_bytes);
 
-  /// Aggregates over all shards (locked one shard at a time).
+  /// Aggregates over all shards (locked one shard at a time).  Per-instance
+  /// compatibility shims: the registry publishes the same quantities fleet-
+  /// wide as `replay_engine.shard<i>.occupancy_bytes` / `.evictions` gauges
+  /// and the `replay_engine(.shard<i>).adds` counters — new telemetry
+  /// consumers should read obs::MetricsRegistry::snapshot() instead.
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
   [[nodiscard]] std::size_t stream_seen() const noexcept;
   [[nodiscard]] std::size_t evictions() const noexcept;
@@ -197,6 +207,20 @@ class ShardedReplayEngine : public ReplayEntrySource {
   /// Byte budget of shard `i` under total capacity `total` (0 = unbounded).
   [[nodiscard]] std::size_t shard_capacity(std::size_t total, std::size_t i) const noexcept;
 
+  /// Registry handles (obs::metrics()), resolved once at construction.
+  /// Counters are deterministic event tallies; the occupancy/eviction gauges
+  /// are last-write-wins per shard *name*, so concurrent engines sharing the
+  /// process overwrite each other — the fleet view is per-deployment, and a
+  /// deployment runs one engine.
+  struct ShardTelemetry {
+    obs::Counter* adds = nullptr;
+    obs::Gauge* evictions = nullptr;
+    obs::Gauge* occupancy_bytes = nullptr;
+    obs::Gauge* capacity_bytes = nullptr;
+  };
+  /// Publishes shard `i`'s occupancy/eviction gauges; call under sh.mu.
+  void publish_shard_gauges(std::size_t i, const LatentReplayBuffer& buffer) const;
+
   /// Resolves global `index` to (shard, local index), locking shards one at
   /// a time, and invokes `fn(buffer, local)` under the owning shard's lock.
   /// Returns false when `index` is beyond the live population.
@@ -209,6 +233,10 @@ class ShardedReplayEngine : public ReplayEntrySource {
   /// unique_ptr because Shard owns a mutex (immovable) and the vector is
   /// sized at construction.
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ShardTelemetry> shard_obs_;
+  obs::Counter* obs_adds_ = nullptr;
+  obs::Gauge* obs_capacity_ = nullptr;
+  obs::Histogram* obs_lock_wait_ = nullptr;
 };
 
 }  // namespace r4ncl::core

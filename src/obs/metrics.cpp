@@ -1,0 +1,158 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace r4ncl::obs {
+
+namespace {
+
+/// Shortest-faithful double for the snapshot: %.17g round-trips every finite
+/// value, so identical registry states always serialize identically.
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_quoted(std::string& out, std::string_view name) {
+  // Metric names are programmer-chosen identifiers ([A-Za-z0-9._-]); anything
+  // needing JSON escapes is a bug worth failing loudly on at export time.
+  for (const char c : name) {
+    R4NCL_CHECK(c >= 0x20 && c != '"' && c != '\\',
+                "metric name contains a character that needs JSON escaping");
+  }
+  out += '"';
+  out += name;
+  out += '"';
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name), RegistryKey{}, &armed_).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  MutexLock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.try_emplace(std::string(name), RegistryKey{}, &armed_).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::span<const double> edges) {
+  R4NCL_CHECK(!edges.empty(), "histogram '" << name << "' needs at least one bucket edge");
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    R4NCL_CHECK(edges[i - 1] < edges[i],
+                "histogram '" << name << "' edges must be strictly increasing");
+  }
+  MutexLock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name), RegistryKey{}, &armed_, edges).first;
+    return it->second;
+  }
+  const std::span<const double> fixed = it->second.edges();
+  const bool same = fixed.size() == edges.size() &&
+                    std::equal(fixed.begin(), fixed.end(), edges.begin());
+  R4NCL_CHECK(same, "histogram '" << name
+                                  << "' re-registered with different bucket edges");
+  return it->second;
+}
+
+void MetricsRegistry::reset_values() {
+  MutexLock lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  MutexLock lock(mu_);
+  std::string out;
+  out += "{\n  \"schema\": \"r4ncl-metrics-v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_quoted(out, name);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, c.value());
+    out += ": ";
+    out += buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_quoted(out, name);
+    out += ": ";
+    out += json_number(g.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_quoted(out, name);
+    out += ": {\"edges\": [";
+    const std::span<const double> edges = h.edges();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += json_number(edges[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i <= edges.size(); ++i) {
+      if (i != 0) out += ", ";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, h.bucket_count(i));
+      out += buf;
+    }
+    out += "], \"sum\": ";
+    out += json_number(h.sum());
+    out += ", \"count\": ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, h.count());
+    out += buf;
+    out += "}";
+  }
+  out += first ? "}\n}" : "\n  }\n}";
+  return out;
+}
+
+MetricsRegistry& metrics() {
+  // Process-lifetime telemetry sink.  Observation-only by contract: nothing
+  // in src/ reads a metric back into a computation, so the hidden cross-run
+  // state the linter guards against cannot affect any result (pinned by the
+  // enabled≡disabled bit-identity tests in tests/test_obs.cpp).
+  // r4ncl-lint: allow(static-local) process-wide telemetry registry is write-only from product code and exported at exit; it can never feed back into results
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void write_snapshot(const MetricsRegistry& registry, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  R4NCL_CHECK(out.good(), "cannot open metrics_out path '" << path << "' for writing");
+  out << registry.snapshot_json() << "\n";
+  out.flush();
+  R4NCL_CHECK(out.good(), "failed writing metrics snapshot to '" << path << "'");
+}
+
+}  // namespace r4ncl::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
@@ -9,7 +10,11 @@ namespace r4ncl::snn {
 
 BatchPipeline::BatchPipeline(const SampleSource& source, std::size_t batch_size,
                              std::size_t prefetch)
-    : source_(source), batch_size_(batch_size), prefetch_(prefetch) {
+    : source_(source), batch_size_(batch_size), prefetch_(prefetch),
+      obs_stall_(&obs::metrics().histogram("pipeline.stall_seconds",
+                                           obs::kLatencyEdgesSeconds)),
+      obs_assemble_(&obs::metrics().histogram("pipeline.assemble_seconds",
+                                              obs::kLatencyEdgesSeconds)) {
   R4NCL_CHECK(batch_size_ > 0, "batch_size must be positive");
   R4NCL_CHECK(static_cast<bool>(source_.fetch), "SampleSource.fetch must be set");
   // prefetch batches in flight + the one the consumer holds.
@@ -99,6 +104,7 @@ void BatchPipeline::producer_main() {
       continue;
     }
     assemble_seconds_ += seconds;
+    obs_assemble_->record(seconds);
     slot.ready = true;
     produce_next_ = idx + 1;
     cv_consumer_.notify_all();
@@ -123,6 +129,8 @@ const PreparedBatch* BatchPipeline::next_batch() {
     MutexLock lock(mu_);
     assemble_seconds_ += seconds;
     stall_seconds_ += seconds;
+    obs_assemble_->record(seconds);
+    obs_stall_->record(seconds);
     next_consume_ = idx + 1;
     return &slots_[0].pb;
   }
@@ -143,7 +151,9 @@ const PreparedBatch* BatchPipeline::next_batch() {
   const std::size_t slot_idx = next_consume_ % slots_.size();
   Stopwatch watch;
   while (!slots_[slot_idx].ready && error_ == nullptr) cv_consumer_.wait(mu_);
-  stall_seconds_ += watch.elapsed_seconds();
+  const double waited = watch.elapsed_seconds();
+  stall_seconds_ += waited;
+  obs_stall_->record(waited);
   if (error_ != nullptr) {
     std::exception_ptr err = error_;
     error_ = nullptr;

@@ -31,6 +31,10 @@
 #include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 
+namespace r4ncl::obs {
+class Histogram;
+}  // namespace r4ncl::obs
+
 namespace r4ncl::snn {
 
 /// One assembled minibatch: the (T × count × C) input cube, its labels, and
@@ -62,8 +66,12 @@ class BatchPipeline {
   const PreparedBatch* next_batch() R4NCL_EXCLUDES(mu_);
 
   /// Cumulative seconds the consumer spent blocked waiting for a batch.
+  /// Per-instance compatibility shim: the same stalls feed the registry's
+  /// `pipeline.stall_seconds` histogram (one record per wait), so the fleet
+  /// view is obs::MetricsRegistry::snapshot() — prefer it for new telemetry.
   [[nodiscard]] double stall_seconds() const R4NCL_EXCLUDES(mu_);
-  /// Cumulative seconds spent decoding + filling batch tensors.
+  /// Cumulative seconds spent decoding + filling batch tensors.  Shim over
+  /// the registry's `pipeline.assemble_seconds` histogram, as above.
   [[nodiscard]] double assemble_seconds() const R4NCL_EXCLUDES(mu_);
 
  private:
@@ -108,6 +116,12 @@ class BatchPipeline {
   CondVar cv_producer_;
   CondVar cv_consumer_;
   std::thread producer_;
+
+  /// Registry handles (obs::metrics()), resolved at construction.  record()
+  /// is lock-free, so publishing under mu_ adds no lock-ordering edge; a
+  /// disarmed registry reduces each record to one relaxed load.
+  obs::Histogram* obs_stall_;
+  obs::Histogram* obs_assemble_;
 };
 
 }  // namespace r4ncl::snn

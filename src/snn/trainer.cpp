@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "snn/batch_pipeline.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
@@ -38,6 +39,10 @@ std::vector<EpochRecord> train_supervised(SnnNetwork& net, const SampleSource& s
   BatchPipeline pipeline(source, options.batch_size, options.prefetch);
   double assemble_base = 0.0;
   double stall_base = 0.0;
+  obs::MetricsRegistry& reg = obs::metrics();
+  obs::Histogram& obs_epoch =
+      reg.histogram("trainer.epoch_seconds", obs::kLatencyEdgesSeconds);
+  obs::Counter& obs_epochs = reg.counter("trainer.epochs");
 
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     Stopwatch watch;
@@ -66,6 +71,8 @@ std::vector<EpochRecord> train_supervised(SnnNetwork& net, const SampleSource& s
     rec.train_accuracy =
         static_cast<double>(correct) / static_cast<double>(source.size);
     rec.wall_seconds = watch.elapsed_seconds();
+    obs_epoch.record(rec.wall_seconds);
+    obs_epochs.add(1);
     rec.assembly_seconds = pipeline.assemble_seconds() - assemble_base;
     rec.assembly_stall_seconds = pipeline.stall_seconds() - stall_base;
     assemble_base += rec.assembly_seconds;
@@ -94,6 +101,8 @@ double evaluate(const SnnNetwork& net, const data::Dataset& dataset,
 double evaluate(const SnnNetwork& net, const SampleSource& source, std::size_t insertion_layer,
                 const ThresholdPolicy& policy, std::size_t batch_size, SpikeOpStats* stats) {
   if (source.size == 0) return 0.0;
+  obs::metrics().counter("trainer.evals").add(1);
+  obs::TraceSpan eval_span(obs::metrics(), "trainer.eval_seconds");
   R4NCL_CHECK(static_cast<bool>(source.fetch), "SampleSource.fetch must be set");
   R4NCL_CHECK(batch_size > 0, "batch_size must be positive");
   std::size_t correct = 0;

@@ -25,10 +25,17 @@ Validates three things for every known bench artifact:
 Exit code 0 = all gates pass.  Any failure prints `bench gate: FAIL ...`
 and exits 1, which is what the CI `bench gate` job keys off.
 
+The fleet artifact additionally embeds the generating run's
+obs::MetricsRegistry snapshot under "metrics"; check_metrics_snapshot
+validates its schema, value sanity and counter/byte cross-invariants, and
+the same validator runs standalone over any metrics_out= file via
+--metrics-snapshot (the metrics_smoke ctest lane).
+
     python3 tools/check_bench.py              # validate the repo's files
     python3 tools/check_bench.py --dir DIR    # validate copies elsewhere
     python3 tools/check_bench.py --self-test  # prove the gate catches
                                               # hand-corrupted data
+    python3 tools/check_bench.py --metrics-snapshot FILE  # one snapshot
 
 The self-test corrupts in-memory copies of the real files (checksum flip,
 budget overflow, headline regression, dropped column, delta mismatch) and
@@ -41,6 +48,7 @@ from __future__ import annotations
 import argparse
 import copy
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -315,6 +323,111 @@ def check_baseline(doc) -> int:
     return checks
 
 
+# ---- obs metrics snapshots ---------------------------------------------------
+
+METRICS_SCHEMA = "r4ncl-metrics-v1"
+
+
+def finite_number(value) -> bool:
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and math.isfinite(value))
+
+
+def check_metrics_snapshot(doc, ctx: str = "metrics_snapshot") -> int:
+    """Validates one obs::MetricsRegistry snapshot: the pinned schema tag,
+    per-section value sanity (counters are non-negative integers, gauges are
+    finite, histogram edges strictly increase and bucket counts reconcile
+    with the total), and the cross-metric invariants the instrumented code
+    guarantees (shard adds sum to the engine total, per-policy evictions sum
+    to the buffer total, evictions never exceed adds + restored entries, and
+    occupancy gauges respect their capacity gauges).  Used both for
+    standalone metrics_out= files (--metrics-snapshot) and for the snapshot
+    embedded in BENCH_fleet_replay.json."""
+    checks = 0
+    if not isinstance(doc, dict):
+        raise GateFailure(f"{ctx}: expected a snapshot object")
+    if doc.get("schema") != METRICS_SCHEMA:
+        raise GateFailure(f"{ctx}: schema {doc.get('schema')!r} != {METRICS_SCHEMA!r}")
+    checks += 1
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            raise GateFailure(f"{ctx}: missing '{section}' object")
+    counters = doc["counters"]
+    gauges = doc["gauges"]
+
+    for name, value in counters.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise GateFailure(
+                f"{ctx}: counter {name} = {value!r} is not a non-negative integer")
+        checks += 1
+    for name, value in gauges.items():
+        if not finite_number(value):
+            raise GateFailure(f"{ctx}: gauge {name} = {value!r} is not a finite number")
+        checks += 1
+    for name, hist in doc["histograms"].items():
+        where = f"{ctx}: histogram {name}"
+        if not isinstance(hist, dict):
+            raise GateFailure(f"{where}: not an object")
+        edges = hist.get("edges")
+        counts = hist.get("counts")
+        if not isinstance(edges, list) or not edges:
+            raise GateFailure(f"{where}: missing or empty edges")
+        if not all(finite_number(e) for e in edges):
+            raise GateFailure(f"{where}: non-finite edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise GateFailure(f"{where}: edges not strictly increasing: {edges}")
+        if not isinstance(counts, list) or len(counts) != len(edges) + 1:
+            raise GateFailure(
+                f"{where}: counts must have len(edges) + 1 buckets "
+                f"(the last is overflow), got {counts!r}")
+        if any(not isinstance(c, int) or isinstance(c, bool) or c < 0 for c in counts):
+            raise GateFailure(f"{where}: bucket counts must be non-negative integers")
+        if hist.get("count") != sum(counts):
+            raise GateFailure(
+                f"{where}: count {hist.get('count')!r} != bucket sum {sum(counts)}")
+        if not finite_number(hist.get("sum")):
+            raise GateFailure(f"{where}: sum {hist.get('sum')!r} is not finite")
+        checks += 4
+
+    # Cross-invariants between named metrics.  Each fires only when its
+    # metrics are present — the registry registers lazily, so a snapshot from
+    # a run that never touched the engine has no shard counters to reconcile.
+    shard_adds = [v for k, v in counters.items()
+                  if k.startswith("replay_engine.shard") and k.endswith(".adds")]
+    if shard_adds and "replay_engine.adds" in counters:
+        if sum(shard_adds) != counters["replay_engine.adds"]:
+            raise GateFailure(
+                f"{ctx}: shard adds sum {sum(shard_adds)} != engine total "
+                f"{counters['replay_engine.adds']}")
+        checks += 1
+    policy_evictions = [v for k, v in counters.items()
+                        if k.startswith("replay_buffer.evictions.")]
+    if policy_evictions and "replay_buffer.evictions" in counters:
+        if sum(policy_evictions) != counters["replay_buffer.evictions"]:
+            raise GateFailure(
+                f"{ctx}: per-policy evictions sum {sum(policy_evictions)} != "
+                f"total {counters['replay_buffer.evictions']}")
+        checks += 1
+    needed = {"replay_buffer.evictions", "replay_buffer.adds",
+              "replay_buffer.restored_entries"}
+    if needed <= counters.keys():
+        budget = counters["replay_buffer.adds"] + counters["replay_buffer.restored_entries"]
+        if counters["replay_buffer.evictions"] > budget:
+            raise GateFailure(
+                f"{ctx}: evictions {counters['replay_buffer.evictions']} exceed "
+                f"adds + restored_entries ({budget}) — an entry was evicted twice")
+        checks += 1
+    for name, occupancy in gauges.items():
+        if not name.endswith(".occupancy_bytes"):
+            continue
+        capacity = gauges.get(name[:-len("occupancy_bytes")] + "capacity_bytes")
+        if capacity is not None and capacity > 0 and occupancy > capacity:
+            raise GateFailure(
+                f"{ctx}: {name} = {occupancy} exceeds its capacity gauge {capacity}")
+        checks += 1
+    return checks
+
+
 # ---- BENCH_fleet_replay.json -------------------------------------------------
 
 def check_fleet_replay(doc) -> int:
@@ -322,6 +435,12 @@ def check_fleet_replay(doc) -> int:
     rows = require_envelope(doc, ctx)
     require_columns(rows, FLEET_COLUMNS, ctx)
     checks = 0
+
+    # The artifact carries the generating run's telemetry snapshot; it must
+    # be present and internally consistent (schema + cross-invariants).
+    if "metrics" not in doc:
+        raise GateFailure(f"{ctx}: missing embedded 'metrics' registry snapshot")
+    checks += check_metrics_snapshot(doc["metrics"], f"{ctx}: metrics")
 
     # Self-check on every row: the lifetime accounting balances exactly and
     # the byte budget held (capacity 0 would mean unbounded).
@@ -731,6 +850,56 @@ def self_test(directory: Path) -> int:
     expect_failure("hot-path dropped column", check_hot_path, bad)
     cases += 1
 
+    # ---- metrics snapshot corruptions (embedded in the fleet artifact) ----
+    bad = copy.deepcopy(fleet)
+    del bad["metrics"]
+    expect_failure("fleet metrics snapshot dropped", check_fleet_replay, bad)
+    cases += 1
+
+    bad = copy.deepcopy(fleet)
+    bad["metrics"]["schema"] = "r4ncl-metrics-v0"
+    expect_failure("metrics schema tag", check_fleet_replay, bad)
+    cases += 1
+
+    bad = copy.deepcopy(fleet)
+    name = sorted(bad["metrics"]["counters"])[0]
+    bad["metrics"]["counters"][name] = -1
+    expect_failure("negative counter", check_fleet_replay, bad)
+    cases += 1
+
+    bad = copy.deepcopy(fleet)
+    bad["metrics"]["counters"]["replay_engine.adds"] += 1
+    expect_failure("shard adds / engine total mismatch", check_fleet_replay, bad)
+    cases += 1
+
+    bad = copy.deepcopy(fleet)
+    bad["metrics"]["counters"]["replay_buffer.evictions"] = (
+        bad["metrics"]["counters"]["replay_buffer.adds"]
+        + bad["metrics"]["counters"]["replay_buffer.restored_entries"] + 1)
+    expect_failure("evictions exceed adds + restored", check_fleet_replay, bad)
+    cases += 1
+
+    bad = copy.deepcopy(fleet)
+    hist_name = sorted(bad["metrics"]["histograms"])[0]
+    bad["metrics"]["histograms"][hist_name]["count"] += 1
+    expect_failure("histogram count / bucket-sum mismatch", check_fleet_replay, bad)
+    cases += 1
+
+    bad = copy.deepcopy(fleet)
+    hist = bad["metrics"]["histograms"][sorted(bad["metrics"]["histograms"])[0]]
+    hist["edges"] = sorted(hist["edges"], reverse=True)
+    expect_failure("histogram edges not increasing", check_fleet_replay, bad)
+    cases += 1
+
+    bad = copy.deepcopy(fleet)
+    for gauge in list(bad["metrics"]["gauges"]):
+        if gauge.endswith(".capacity_bytes"):
+            occ = gauge[:-len("capacity_bytes")] + "occupancy_bytes"
+            bad["metrics"]["gauges"][occ] = bad["metrics"]["gauges"][gauge] + 1
+            break
+    expect_failure("occupancy gauge over capacity", check_fleet_replay, bad)
+    cases += 1
+
     return cases
 
 
@@ -741,10 +910,17 @@ def main() -> int:
                         help="directory holding the BENCH_*.json files (default: repo root)")
     parser.add_argument("--self-test", action="store_true",
                         help="corrupt in-memory copies and assert every gate trips")
+    parser.add_argument("--metrics-snapshot", type=Path, default=None,
+                        help="validate one metrics_out= snapshot file instead of "
+                             "the checked-in BENCH_*.json artifacts")
     args = parser.parse_args()
 
     try:
-        if args.self_test:
+        if args.metrics_snapshot is not None:
+            checks = check_metrics_snapshot(load(args.metrics_snapshot),
+                                            str(args.metrics_snapshot))
+            print(f"bench gate: metrics snapshot OK ({checks} checks)")
+        elif args.self_test:
             cases = self_test(args.dir)
             print(f"bench gate: self-test OK ({cases} corruptions all caught)")
         else:
